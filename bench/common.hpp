@@ -1,0 +1,100 @@
+#pragma once
+// Shared helpers for the experiment binaries (E1–E11, DESIGN.md §5).
+//
+// Every bench point runs an algorithm through the CONGEST simulator,
+// re-verifies the result (cover validity + dual feasibility + certified
+// ratio), and reports the paper's complexity measures. Wall-clock time is
+// measured separately via google-benchmark on representative points; the
+// reproduction metric is *rounds*, which is deterministic.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "baselines/kmw.hpp"
+#include "baselines/kvy.hpp"
+#include "core/mwhvc.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/table.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::bench {
+
+struct Metrics {
+  std::uint32_t rounds = 0;
+  std::uint32_t iterations = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint32_t max_msg_bits = 0;
+  std::uint32_t bandwidth_limit = 0;
+  std::uint64_t bandwidth_violations = 0;
+  hg::Weight cover_weight = 0;
+  double dual_total = 0;
+  double certified_ratio = 0;
+  bool verified = false;
+};
+
+/// Runs the verifier over any solver result and fills the metric row.
+/// Throws std::runtime_error if the solution fails verification — a bench
+/// must never report numbers for a wrong answer.
+template <class Result>
+Metrics metrics_from(const hg::Hypergraph& g, const Result& res,
+                     std::uint32_t iterations) {
+  const auto cert = verify::certify(g, res.in_cover, res.duals);
+  if (!cert.valid() || !res.net.completed) {
+    throw std::runtime_error("bench point failed verification: " + cert.error);
+  }
+  Metrics m;
+  m.rounds = res.net.rounds;
+  m.iterations = iterations;
+  m.messages = res.net.total_messages;
+  m.total_bits = res.net.total_bits;
+  m.max_msg_bits = res.net.max_message_bits;
+  m.bandwidth_limit = res.net.bandwidth_limit_bits;
+  m.bandwidth_violations = res.net.bandwidth_violations;
+  m.cover_weight = res.cover_weight;
+  m.dual_total = cert.dual_total;
+  m.certified_ratio = cert.certified_ratio;
+  m.verified = true;
+  return m;
+}
+
+inline Metrics run_mwhvc(const hg::Hypergraph& g, double eps,
+                         const core::MwhvcOptions& base = {}) {
+  core::MwhvcOptions opts = base;
+  opts.eps = eps;
+  const auto res = core::solve_mwhvc(g, opts);
+  return metrics_from(g, res, res.iterations);
+}
+
+inline Metrics run_kmw(const hg::Hypergraph& g, double eps) {
+  baselines::KmwOptions opts;
+  opts.eps = eps;
+  const auto res = baselines::solve_kmw(g, opts);
+  return metrics_from(g, res, res.iterations);
+}
+
+inline Metrics run_kvy(const hg::Hypergraph& g, double eps) {
+  baselines::KvyOptions opts;
+  opts.eps = eps;
+  const auto res = baselines::solve_kvy(g, opts);
+  return metrics_from(g, res, res.iterations);
+}
+
+/// Prints the experiment banner + table and forwards to google-benchmark.
+/// Call as the tail of each bench main().
+inline int finish_main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace hypercover::bench

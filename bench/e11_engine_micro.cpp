@@ -1,0 +1,80 @@
+// E11 — engineering micro-benchmarks (not a paper experiment): simulator
+// throughput per round and per link, generator cost, and end-to-end solve
+// wall time. These size the substrate, so regressions in the engine are
+// visible independently of the algorithmic experiments.
+
+#include "bench/common.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+
+namespace {
+
+using namespace hypercover;
+
+void BM_GeneratorRandomUniform(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto g =
+        hg::random_uniform(n, 3 * n, 3, hg::uniform_weights(100), seed++);
+    benchmark::DoNotOptimize(g.num_incidences());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 3);
+}
+BENCHMARK(BM_GeneratorRandomUniform)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GeneratorBoundedDegree(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto g = hg::random_bounded_degree(n, 2 * n, 3, 16,
+                                             hg::uniform_weights(100), seed++);
+    benchmark::DoNotOptimize(g.num_incidences());
+  }
+}
+BENCHMARK(BM_GeneratorBoundedDegree)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SolveMwhvcEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  bench::Metrics last;
+  for (auto _ : state) last = bench::run_mwhvc(g, 0.5);
+  state.counters["rounds"] = last.rounds;
+  state.counters["links"] = static_cast<double>(g.num_incidences());
+  // Normalized engine cost: messages processed per second.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.messages));
+}
+BENCHMARK(BM_SolveMwhvcEndToEnd)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolveKmwEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  bench::Metrics last;
+  for (auto _ : state) last = bench::run_kmw(g, 0.5);
+  state.counters["rounds"] = last.rounds;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.messages));
+}
+BENCHMARK(BM_SolveKmwEndToEnd)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BruteForceOpt(benchmark::State& state) {
+  const auto g = hg::random_uniform(static_cast<std::uint32_t>(state.range(0)),
+                                    2 * state.range(0), 3,
+                                    hg::uniform_weights(9), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::brute_force_opt(g));
+  }
+}
+BENCHMARK(BM_BruteForceOpt)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

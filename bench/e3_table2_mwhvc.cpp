@@ -1,0 +1,111 @@
+// E3 — Table 2 (hypergraph vertex cover): rounds as a function of the
+// rank f and of Delta.
+//
+// Paper rows reproduced: ours O(f log(f/eps) (log D)^0.001 + logD/loglogD)
+// vs [15]-style O(f log(f/eps) log n) and [18]-style O(... log(W Delta)).
+// Two sweeps: f at fixed Delta (stars, Delta = 256), and Delta at fixed
+// f = 4.
+
+#include "bench/common.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace hypercover;
+
+constexpr double kEps = 0.5;
+constexpr int kLogW = 12;
+
+void print_f_sweep() {
+  bench::banner("E3a: Table 2 - rounds vs rank f (avg degree ~24 fixed)",
+                "random f-uniform hypergraphs, n=3000, W=2^12, eps=0.5.");
+  util::Table t({"f", "mwhvc rounds", "mwhvc iters", "kvy rounds",
+                 "kmw rounds", "f*log2(f/eps)", "mwhvc ratio<="});
+  for (const std::uint32_t f : {2u, 3u, 4u, 6u, 8u, 12u}) {
+    // m = n * 24 / f keeps the average degree constant across ranks.
+    const auto g = hg::random_uniform(3000, 3000 * 24 / f, f,
+                                      hg::exponential_weights(kLogW),
+                                      /*seed=*/3);
+    const auto ours = bench::run_mwhvc(g, kEps);
+    const auto kvy = bench::run_kvy(g, kEps);
+    const auto kmw = bench::run_kmw(g, kEps);
+    t.row()
+        .add(std::uint64_t{f})
+        .add(std::uint64_t{ours.rounds})
+        .add(std::uint64_t{ours.iterations})
+        .add(std::uint64_t{kvy.rounds})
+        .add(std::uint64_t{kmw.rounds})
+        .add(f * std::log2(f / kEps), 1)
+        .add(ours.certified_ratio, 3);
+  }
+  t.print(std::cout);
+}
+
+void print_delta_sweep() {
+  bench::banner("E3b: Table 2 - rounds vs Delta (f=4 fixed)",
+                "random 4-uniform hypergraphs (n=3000, density swept), "
+                "W=2^12, eps=0.5.");
+  util::Table t({"Delta", "mwhvc rounds", "kvy rounds", "kmw rounds",
+                 "logD/loglogD", "mwhvc ratio<="});
+  for (const std::uint32_t target : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const auto g = hg::random_uniform(3000, 3000 * target / 8, 4,
+                                      hg::exponential_weights(kLogW),
+                                      /*seed=*/3);
+    const std::uint32_t d = g.max_degree();
+    const auto ours = bench::run_mwhvc(g, kEps);
+    const auto kvy = bench::run_kvy(g, kEps);
+    const auto kmw = bench::run_kmw(g, kEps);
+    const double ld = std::log2(static_cast<double>(d));
+    t.row()
+        .add(std::uint64_t{d})
+        .add(std::uint64_t{ours.rounds})
+        .add(std::uint64_t{kvy.rounds})
+        .add(std::uint64_t{kmw.rounds})
+        .add(ld / std::max(std::log2(ld), 1.0), 2)
+        .add(ours.certified_ratio, 3);
+  }
+  t.print(std::cout);
+}
+
+void print_dense_random() {
+  bench::banner("E3c: Table 2 - random f-rank hypergraphs (cross-check)",
+                "random uniform hypergraphs (n=4000, m=12000), W=2^12.");
+  util::Table t({"f", "Delta", "mwhvc rounds", "kvy rounds", "kmw rounds",
+                 "mwhvc ratio<="});
+  for (const std::uint32_t f : {2u, 3u, 5u, 8u}) {
+    const auto g = hg::random_uniform(4000, 12000, f,
+                                      hg::exponential_weights(kLogW), 17);
+    const auto ours = bench::run_mwhvc(g, kEps);
+    const auto kvy = bench::run_kvy(g, kEps);
+    const auto kmw = bench::run_kmw(g, kEps);
+    t.row()
+        .add(std::uint64_t{f})
+        .add(std::uint64_t{g.max_degree()})
+        .add(std::uint64_t{ours.rounds})
+        .add(std::uint64_t{kvy.rounds})
+        .add(std::uint64_t{kmw.rounds})
+        .add(ours.certified_ratio, 3);
+  }
+  t.print(std::cout);
+}
+
+void BM_MwhvcF(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const auto g = hg::hyper_star(256, f, hg::exponential_weights(kLogW), 3);
+  bench::Metrics last;
+  for (auto _ : state) last = bench::run_mwhvc(g, kEps);
+  state.counters["rounds"] = last.rounds;
+}
+BENCHMARK(BM_MwhvcF)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_f_sweep();
+  print_delta_sweep();
+  print_dense_random();
+  return hypercover::bench::finish_main(argc, argv);
+}

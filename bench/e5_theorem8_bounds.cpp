@@ -1,0 +1,146 @@
+// E5 — Theorem 8 / Lemmas 6, 7: measured iteration counts against the
+// proof's budget, plus the alpha ablation behind Theorem 9.
+//
+//   iterations <= log_alpha(Delta * 2^{f z})  +  f * z * alpha
+//                 (e-raise, Lemma 6)             (v-stuck, Lemma 7)
+//
+// The sweep varies Delta and alpha; the ablation compares alpha = 2,
+// larger constants, the Theorem 9 global rule, and the per-edge local
+// rule. Measured raise/stuck event totals are reported to show which term
+// dominates on each side of the trade-off.
+
+#include "bench/common.hpp"
+#include "core/params.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+
+#include <cmath>
+
+namespace {
+
+using namespace hypercover;
+
+constexpr double kEps = 0.5;
+
+core::MwhvcResult run_traced(const hg::Hypergraph& g, core::AlphaMode mode,
+                             double alpha_fixed) {
+  core::MwhvcOptions o;
+  o.eps = kEps;
+  o.alpha_mode = mode;
+  o.alpha_fixed = alpha_fixed;
+  o.collect_trace = true;
+  auto res = core::solve_mwhvc(g, o);
+  if (!res.net.completed) throw std::runtime_error("E5: did not terminate");
+  return res;
+}
+
+void print_budget_sweep() {
+  bench::banner("E5a: Theorem 8 - measured iterations vs proof budget",
+                "random 3-uniform hypergraphs (n=3000), W=2^12, alpha=2 "
+                "fixed; budget = log_a(D*2^{fz}) + f*z*a.");
+  util::Table t({"Delta", "iters", "budget", "used %", "raise events",
+                 "stuck events"});
+  for (const std::uint32_t target : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const auto g = hg::random_uniform(3000, 3000 * target / 6, 3,
+                                      hg::exponential_weights(12), 21);
+    const auto res = run_traced(g, core::AlphaMode::kFixed, 2.0);
+    const auto budget =
+        core::theorem8_budget(res.f, kEps, g.max_degree(), 2.0, false);
+    t.row()
+        .add(std::uint64_t{g.max_degree()})
+        .add(std::uint64_t{res.iterations})
+        .add(budget.total(), 1)
+        .add(100.0 * res.iterations / budget.total(), 1)
+        .add(res.trace.raise_events)
+        .add(res.trace.stuck_events);
+  }
+  t.print(std::cout);
+}
+
+void print_alpha_ablation() {
+  bench::banner("E5b: alpha ablation (Theorem 9)",
+                "Delta=16384 star f=3 and random bounded-degree instance; "
+                "alpha trades raise iterations against stuck iterations.");
+  const auto star = hg::hyper_star(16384, 3, hg::exponential_weights(12), 21);
+  const auto rnd = hg::random_bounded_degree(20000, 30000, 3, 64,
+                                             hg::exponential_weights(12), 22);
+  for (const auto* name : {"star Delta=16384", "random Delta<=64"}) {
+    const auto& g = std::string(name).front() == 's' ? star : rnd;
+    std::cout << name << ":\n";
+    util::Table t({"alpha rule", "alpha", "iters", "rounds", "raise events",
+                   "stuck events", "ratio<="});
+    const auto add = [&](const char* rule, core::AlphaMode mode, double a) {
+      const auto res = run_traced(g, mode, a);
+      const auto m = bench::metrics_from(g, res, res.iterations);
+      t.row()
+          .add(rule)
+          .add(mode == core::AlphaMode::kFixed
+                   ? std::to_string(static_cast<int>(a))
+                   : std::to_string(res.alpha_global).substr(0, 5))
+          .add(std::uint64_t{res.iterations})
+          .add(std::uint64_t{res.net.rounds})
+          .add(res.trace.raise_events)
+          .add(res.trace.stuck_events)
+          .add(m.certified_ratio, 3);
+    };
+    add("fixed 2", core::AlphaMode::kFixed, 2.0);
+    add("fixed 4", core::AlphaMode::kFixed, 4.0);
+    add("fixed 8", core::AlphaMode::kFixed, 8.0);
+    add("fixed 16", core::AlphaMode::kFixed, 16.0);
+    add("theorem 9 (global)", core::AlphaMode::kGlobalDelta, 2.0);
+    add("theorem 9 (local)", core::AlphaMode::kLocalPerEdge, 2.0);
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+void print_lemma_budgets() {
+  bench::banner("E5c: Lemma 6 / Lemma 7 - per-edge and per-level budgets",
+                "max observed vs proof bound across a random instance.");
+  const auto g = hg::random_bounded_degree(8000, 16000, 3, 32,
+                                           hg::exponential_weights(12), 23);
+  const auto res = run_traced(g, core::AlphaMode::kFixed, 2.0);
+  std::uint32_t max_raises = 0;
+  for (const auto r : res.trace.edge_raises) max_raises = std::max(max_raises, r);
+  std::uint32_t max_halvings = 0;
+  for (const auto h : res.trace.edge_halvings) {
+    max_halvings = std::max(max_halvings, h);
+  }
+  std::uint32_t max_stuck = 0;
+  for (const auto s : res.trace.stuck_per_level) max_stuck = std::max(max_stuck, s);
+  const double lemma6 =
+      std::log2(g.max_degree() * std::pow(2.0, 3.0 * res.z));
+  util::Table t({"quantity", "max observed", "proof bound"});
+  t.row().add("edge raises (Lemma 6)").add(std::uint64_t{max_raises}).add(lemma6, 1);
+  t.row()
+      .add("edge halvings (<= f z)")
+      .add(std::uint64_t{max_halvings})
+      .add(std::uint64_t{3 * res.z});
+  t.row()
+      .add("stuck per (v, level) (Lemma 7)")
+      .add(std::uint64_t{max_stuck})
+      .add(2.0, 1);
+  t.print(std::cout);
+}
+
+void BM_AlphaRule(benchmark::State& state) {
+  const auto g = hg::hyper_star(16384, 3, hg::exponential_weights(12), 21);
+  const auto mode = state.range(0) == 0 ? core::AlphaMode::kFixed
+                                        : core::AlphaMode::kLocalPerEdge;
+  bench::Metrics last;
+  for (auto _ : state) {
+    const auto res = run_traced(g, mode, 2.0);
+    last = bench::metrics_from(g, res, res.iterations);
+  }
+  state.counters["rounds"] = last.rounds;
+}
+BENCHMARK(BM_AlphaRule)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_budget_sweep();
+  print_alpha_ablation();
+  print_lemma_budgets();
+  return hypercover::bench::finish_main(argc, argv);
+}

@@ -1,0 +1,77 @@
+// Scenario: weighted vertex cover on a communication graph (f = 2) —
+// the classical special case of the paper, comparing the round cost and
+// solution quality of Algorithm MWHVC against both baseline mechanisms.
+//
+//   ./network_vc [--n=400] [--p=0.02] [--wspread=16] [--eps=0.5] [--seed=7]
+//
+// Think of vertices as routers that can host a monitoring agent (at a
+// per-router cost) and edges as links, each of which must be observed
+// from at least one endpoint.
+
+#include <iostream>
+
+#include "baselines/kmw.hpp"
+#include "baselines/kvy.hpp"
+#include "core/mwhvc.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/stats.hpp"
+#include "hypergraph/weights.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "verify/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypercover;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint32_t>(cli.get("n", 400));
+  const double p = cli.get("p", 0.02);
+  const auto wspread = static_cast<int>(cli.get("wspread", 16));
+  const double eps = cli.get("eps", 0.5);
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 7));
+
+  const hg::Hypergraph g =
+      hg::gnp(n, p, hg::exponential_weights(wspread), seed);
+  std::cout << "network: " << hg::compute_stats(g) << "\n\n";
+
+  core::MwhvcOptions mopts;
+  mopts.eps = eps;
+  const auto ours = core::solve_mwhvc(g, mopts);
+  baselines::KmwOptions kopts;
+  kopts.eps = eps;
+  const auto kmw = baselines::solve_kmw(g, kopts);
+  baselines::KvyOptions vopts;
+  vopts.eps = eps;
+  const auto kvy = baselines::solve_kvy(g, vopts);
+
+  util::Table t({"algorithm", "rounds", "messages", "cover cost",
+                 "certified ratio <="});
+  const auto row = [&](const char* name, std::uint32_t rounds,
+                       std::uint64_t msgs, hg::Weight cost,
+                       const std::vector<bool>& cover,
+                       const std::vector<double>& duals) {
+    const auto cert = verify::certify(g, cover, duals);
+    if (!cert.valid()) {
+      std::cerr << name << " failed verification: " << cert.error << "\n";
+      std::exit(1);
+    }
+    t.row()
+        .add(name)
+        .add(std::uint64_t{rounds})
+        .add(msgs)
+        .add(cost)
+        .add(cert.certified_ratio, 3);
+  };
+  row("mwhvc (this paper)", ours.net.rounds, ours.net.total_messages,
+      ours.cover_weight, ours.in_cover, ours.duals);
+  row("kmw uniform-increase", kmw.net.rounds, kmw.net.total_messages,
+      kmw.cover_weight, kmw.in_cover, kmw.duals);
+  row("kvy proportional", kvy.net.rounds, kvy.net.total_messages,
+      kvy.cover_weight, kvy.in_cover, kvy.duals);
+  t.print(std::cout);
+
+  std::cout << "\nguarantee for all three: (2 + " << eps << ") x optimal;\n"
+            << "max message size observed (mwhvc): "
+            << ours.net.max_message_bits << " bits vs CONGEST budget "
+            << ours.net.bandwidth_limit_bits << " bits\n";
+  return 0;
+}

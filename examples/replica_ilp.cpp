@@ -1,0 +1,74 @@
+// Scenario: data-replica placement as a covering ILP (§5).
+//
+//   ./replica_ilp [--nodes=12] [--objects=18] [--spread=3] [--demand=3]
+//                 [--eps=0.5] [--seed=3]
+//
+// Each storage node j can hold x_j replicas (an integer), at per-replica
+// cost w_j. Object i is striped over at most `spread` nodes with
+// throughput coefficients A_ij, and needs total provisioned throughput
+// >= b_i. The program  min w^T x  s.t.  A x >= b, x in N^n  is solved
+// distributedly via the paper's reduction chain (Claim 18 binary
+// expansion -> Lemma 14 clause hypergraph -> Algorithm MWHVC) and the
+// assembled solution is verified and compared with the exact optimum.
+
+#include <iostream>
+
+#include "ilp/generators.hpp"
+#include "ilp/pipeline.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypercover;
+  const util::Cli cli(argc, argv);
+  ilp::IlpGenParams params;
+  params.num_vars = static_cast<std::uint32_t>(cli.get("nodes", 12));
+  params.num_constraints = static_cast<std::uint32_t>(cli.get("objects", 18));
+  params.max_row_support = static_cast<std::uint32_t>(cli.get("spread", 3));
+  params.rhs_multiple = cli.get("demand", 3);
+  params.max_coeff = 4;
+  params.max_weight = 9;
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 3));
+  const double eps = cli.get("eps", 0.5);
+
+  const ilp::CoveringIlp program = ilp::random_covering_ilp(params, seed);
+  std::cout << "covering ILP: " << program.num_vars() << " variables, "
+            << program.num_constraints() << " constraints, f(A)="
+            << program.row_support() << ", Delta(A)=" << program.col_support()
+            << ", M(A,b)=" << program.box_bound() << "\n\n";
+
+  ilp::PipelineOptions opts;
+  opts.eps = eps;
+  const ilp::PipelineResult res = ilp::solve_covering_ilp(program, opts);
+  if (!res.feasible) {
+    std::cerr << "assembled solution infeasible (bug)\n";
+    return 1;
+  }
+
+  util::Table stages({"reduction stage", "size"});
+  stages.row().add("binary expansion bits B").add(std::uint64_t{res.bits_per_var});
+  stages.row().add("zero-one variables").add(std::uint64_t{res.zo_vars});
+  stages.row().add("hypergraph edges (clauses)").add(std::uint64_t{res.hyper_edges});
+  stages.row().add("hypergraph rank f'").add(std::uint64_t{res.rank});
+  stages.row().add("hypergraph max degree").add(std::uint64_t{res.max_degree});
+  stages.print(std::cout);
+
+  std::cout << "\nreplica plan x = [";
+  for (std::size_t j = 0; j < res.x.size(); ++j) {
+    std::cout << res.x[j] << (j + 1 < res.x.size() ? ", " : "");
+  }
+  std::cout << "]\ncost " << res.objective << ", guarantee (f'+eps) = "
+            << res.rank + eps << "x optimal\n";
+  std::cout << "rounds: " << res.inner.net.rounds
+            << " on the clause network; x" << res.simulated_round_factor
+            << " simulation factor (Claim 15) -> ~" << res.simulated_rounds
+            << " on the ILP network\n";
+
+  if (program.num_vars() <= 14 && res.box <= 4) {
+    const auto opt = ilp::brute_force_ilp_opt(program);
+    std::cout << "exact optimum " << opt << " -> achieved ratio "
+              << static_cast<double>(res.objective) / static_cast<double>(opt)
+              << "\n";
+  }
+  return 0;
+}

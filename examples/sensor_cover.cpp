@@ -1,0 +1,75 @@
+// Scenario: minimum-cost sensor placement as Weighted Set Cover.
+//
+//   ./sensor_cover [--sites=60] [--regions=400] [--freq=4] [--eps=0.25]
+//                  [--seed=1]
+//
+// A utility must monitor `regions`; each candidate sensor site covers a
+// subset of them, and each region is reachable from at most `freq` sites
+// (the element frequency f of the set system). Rendered as MWHVC per §2:
+// vertices = sites (weight = installation cost), hyperedges = regions.
+// The distributed algorithm runs between the sites and the regions they
+// can monitor — the paper's client/server network — and is compared with
+// the centralized greedy heuristic.
+
+#include <iostream>
+
+#include "baselines/sequential.hpp"
+#include "core/mwhvc.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/stats.hpp"
+#include "hypergraph/weights.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "verify/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypercover;
+  const util::Cli cli(argc, argv);
+  const auto sites = static_cast<std::uint32_t>(cli.get("sites", 60));
+  const auto regions = static_cast<std::uint32_t>(cli.get("regions", 400));
+  const auto freq = static_cast<std::uint32_t>(cli.get("freq", 4));
+  const double eps = cli.get("eps", 0.25);
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 1));
+
+  const hg::Hypergraph g = hg::random_set_cover(
+      sites, regions, freq, hg::uniform_weights(100), seed);
+  std::cout << "set-cover instance: " << hg::compute_stats(g) << "\n\n";
+
+  core::MwhvcOptions opts;
+  opts.eps = eps;
+  const auto distributed = core::solve_mwhvc(g, opts);
+  const auto cert = verify::certify(g, distributed.in_cover, distributed.duals);
+  if (!cert.valid()) {
+    std::cerr << "verification failed: " << cert.error << "\n";
+    return 1;
+  }
+
+  const auto greedy = baselines::greedy_cover(g);
+  const hg::Weight greedy_weight = g.weight_of(greedy);
+  if (!verify::is_cover(g, greedy)) {
+    std::cerr << "greedy produced an invalid cover\n";
+    return 1;
+  }
+
+  util::Table t({"method", "cost", "certified ratio <=", "rounds", "guarantee"});
+  t.row()
+      .add("distributed (f+eps)")
+      .add(distributed.cover_weight)
+      .add(cert.certified_ratio, 3)
+      .add(std::uint64_t{distributed.net.rounds})
+      .add(static_cast<double>(g.rank()) + eps, 2);
+  t.row().add("greedy (centralized)").add(greedy_weight).add("-").add("-").add(
+      "H_n");
+  t.print(std::cout);
+
+  std::cout << "\nselected sites: ";
+  int shown = 0;
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (distributed.in_cover[v] && shown++ < 20) std::cout << v << ' ';
+  }
+  if (shown > 20) std::cout << "... (" << shown << " total)";
+  std::cout << "\nLP lower bound (dual): " << cert.dual_total
+            << " -> cost is provably within " << cert.certified_ratio
+            << "x of optimal.\n";
+  return 0;
+}

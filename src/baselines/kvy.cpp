@@ -1,0 +1,230 @@
+#include "baselines/kvy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "congest/engine.hpp"
+#include "core/params.hpp"
+#include "util/math.hpp"
+
+namespace hypercover::baselines {
+
+namespace {
+
+// Residuals are reals; we transmit them as doubles and account their size
+// as integer-part width plus a 20-bit fixed-point fraction — the message
+// discipline [15] would need under the paper's poly(n) weight assumption.
+std::uint32_t real_bits(double value) {
+  const auto ipart = static_cast<std::uint64_t>(std::max(value, 0.0));
+  return util::bit_width_or_one(ipart) + 20;
+}
+
+enum class VTag : std::uint8_t { kCovered, kResid };
+
+struct VMsg {
+  VTag tag{VTag::kResid};
+  double resid = 0;
+  std::uint32_t degree = 0;
+  [[nodiscard]] std::uint32_t bit_size() const {
+    if (tag == VTag::kResid) {
+      return 2 + real_bits(resid) + util::bit_width_or_one(degree);
+    }
+    return 2;
+  }
+};
+
+enum class ETag : std::uint8_t { kCovered, kBid };
+
+struct EMsg {
+  ETag tag{ETag::kBid};
+  double min_resid = 0;
+  std::uint32_t min_degree = 1;
+  [[nodiscard]] std::uint32_t bit_size() const {
+    if (tag == ETag::kBid) {
+      return 2 + real_bits(min_resid) + util::bit_width_or_one(min_degree);
+    }
+    return 2;
+  }
+};
+
+struct Shared {
+  const hg::Hypergraph* graph = nullptr;
+  double beta = 0;
+};
+
+struct KvyVertexAgent {
+  const Shared* cfg = nullptr;
+  double weight = 0;
+  std::uint32_t degree = 0;
+  std::vector<std::uint8_t> active;
+  std::uint32_t active_count = 0;
+  double sum_delta = 0;
+  bool in_cover_flag = false;
+  bool halted_flag = false;
+
+  void configure(const Shared* shared, hg::VertexId v) {
+    cfg = shared;
+    weight = static_cast<double>(cfg->graph->weight(v));
+    degree = cfg->graph->degree(v);
+    active.assign(degree, 1);
+    active_count = degree;
+  }
+
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    const std::uint32_t r = ctx.round();
+    if (r % 2 == 1) return;  // edge rounds
+    if (r == 0) {
+      if (degree == 0) {
+        halted_flag = true;
+        return;
+      }
+      send_resid(ctx);
+      return;
+    }
+    // Fold edge bids / coverage.
+    for (std::uint32_t k = 0; k < degree; ++k) {
+      if (!active[k]) continue;
+      const EMsg* m = ctx.message_from(k);
+      if (m == nullptr) continue;
+      if (m->tag == ETag::kCovered) {
+        active[k] = 0;
+        --active_count;
+      } else {
+        sum_delta += m->min_resid / static_cast<double>(m->min_degree);
+      }
+    }
+    if (active_count == 0) {
+      halted_flag = true;
+      return;
+    }
+    if (sum_delta >= (1.0 - cfg->beta) * weight) {
+      in_cover_flag = true;
+      halted_flag = true;
+      VMsg m;
+      m.tag = VTag::kCovered;
+      for (std::uint32_t k = 0; k < degree; ++k) {
+        if (active[k]) ctx.send(k, m);
+      }
+      return;
+    }
+    send_resid(ctx);
+  }
+
+  template <class Ctx>
+  void send_resid(Ctx& ctx) {
+    VMsg m;
+    m.tag = VTag::kResid;
+    m.resid = weight - sum_delta;
+    m.degree = active_count;
+    for (std::uint32_t k = 0; k < degree; ++k) {
+      if (active[k]) ctx.send(k, m);
+    }
+  }
+
+  [[nodiscard]] bool halted() const noexcept { return halted_flag; }
+  [[nodiscard]] bool in_cover() const noexcept { return in_cover_flag; }
+};
+
+struct KvyEdgeAgent {
+  const Shared* cfg = nullptr;
+  std::uint32_t size = 0;
+  double delta = 0;
+  bool halted_flag = false;
+
+  void configure(const Shared* shared, hg::EdgeId e) {
+    cfg = shared;
+    size = cfg->graph->edge_size(e);
+  }
+
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    const std::uint32_t r = ctx.round();
+    if (r % 2 == 0) return;  // vertex rounds
+    bool covered_now = false;
+    double best = 0;
+    std::uint32_t best_d = 1;
+    bool first = true;
+    for (std::uint32_t j = 0; j < size; ++j) {
+      const VMsg* m = ctx.message_from(j);
+      if (m->tag == VTag::kCovered) {
+        covered_now = true;
+        continue;
+      }
+      const bool better = first || m->resid * best_d <
+                                       best * static_cast<double>(m->degree);
+      if (better) {
+        best = m->resid;
+        best_d = m->degree;
+        first = false;
+      }
+    }
+    EMsg m;
+    if (covered_now) {
+      halted_flag = true;
+      m.tag = ETag::kCovered;
+    } else {
+      m.tag = ETag::kBid;
+      m.min_resid = best;
+      m.min_degree = best_d;
+      delta += best / static_cast<double>(best_d);
+    }
+    ctx.broadcast(m);
+  }
+
+  [[nodiscard]] bool halted() const noexcept { return halted_flag; }
+};
+
+struct Protocol {
+  using VertexMsg = VMsg;
+  using EdgeMsg = EMsg;
+  using VertexAgent = KvyVertexAgent;
+  using EdgeAgent = KvyEdgeAgent;
+};
+
+}  // namespace
+
+BaselineResult solve_kvy(const hg::Hypergraph& g, const KvyOptions& opts) {
+  if (!(opts.eps > 0.0) || opts.eps > 1.0) {
+    throw std::invalid_argument("solve_kvy: eps must be in (0, 1]");
+  }
+  const std::uint32_t rank = std::max<std::uint32_t>(g.rank(), 1);
+  const std::uint32_t f =
+      opts.f_override != 0 ? std::max(opts.f_override, rank) : rank;
+
+  BaselineResult res;
+  res.in_cover.assign(g.num_vertices(), false);
+  res.duals.assign(g.num_edges(), 0.0);
+  if (g.num_edges() == 0) {
+    res.net.completed = true;
+    return res;
+  }
+
+  Shared shared;
+  shared.graph = &g;
+  shared.beta = core::beta_for(f, opts.eps);
+
+  congest::Engine<Protocol> eng(g, opts.engine);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    eng.vertex_agents()[v].configure(&shared, v);
+  }
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    eng.edge_agents()[e].configure(&shared, e);
+  }
+  res.net = eng.run();
+  res.iterations = res.net.rounds > 1 ? (res.net.rounds - 1 + 1) / 2 : 0;
+
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (eng.vertex_agent(v).in_cover()) {
+      res.in_cover[v] = true;
+      res.cover_weight += g.weight(v);
+    }
+  }
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    res.duals[e] = eng.edge_agent(e).delta;
+    res.dual_total += res.duals[e];
+  }
+  return res;
+}
+
+}  // namespace hypercover::baselines

@@ -1,0 +1,37 @@
+#pragma once
+// Baseline: synchronized proportional dual raising, our rendering of the
+// Khuller–Vishkin–Young primal-dual mechanism [15].
+//
+// Mechanism: in every iteration each uncovered edge e raises its dual by
+//   b(e) = min_{v in e} resid(v) / |E'(v)|,
+// where resid(v) = w(v) - Σ_{e ∋ v} δ(e). For every vertex the received
+// raises total at most resid(v), so the packing stays feasible; vertices
+// join the cover at beta-tightness (beta = eps/(f+eps)), giving the same
+// (f + eps) certificate as Algorithm MWHVC (Claim 20).
+//
+// Progress: every uncovered edge raises at least the *global* minimum
+// normalized residual, so the argmin vertex saturates each iteration and
+// every vertex within a factor 2 of the minimum at least halves its
+// residual — the multiplicative-drop behaviour behind [15]'s
+// O(f log(f/eps) log n) bound. Unlike Algorithm MWHVC, per-iteration
+// messages carry residual values (O(log n + precision) bits), the cost
+// the paper's bid/level machinery avoids.
+//
+// Schedule: 1 init round, then 2 rounds per iteration
+//   E->V: Covered | Bid{resid*, deg*}      V->E: Covered | Resid{resid, deg'}
+
+#include "baselines/result.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::baselines {
+
+struct KvyOptions {
+  double eps = 0.5;  ///< approximation slack, in (0, 1]
+  std::uint32_t f_override = 0;
+  congest::Options engine;
+};
+
+[[nodiscard]] BaselineResult solve_kvy(const hg::Hypergraph& g,
+                                       const KvyOptions& opts = {});
+
+}  // namespace hypercover::baselines

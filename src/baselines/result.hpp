@@ -1,0 +1,22 @@
+#pragma once
+// Shared result type for the distributed baseline algorithms.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/stats.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::baselines {
+
+struct BaselineResult {
+  std::vector<bool> in_cover;
+  hg::Weight cover_weight = 0;
+  /// Final dual edge packing (feasible; certifies the ratio via Claim 20).
+  std::vector<double> duals;
+  double dual_total = 0;
+  std::uint32_t iterations = 0;
+  congest::RunStats net;
+};
+
+}  // namespace hypercover::baselines

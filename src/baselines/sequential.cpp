@@ -1,0 +1,71 @@
+#include "baselines/sequential.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hypercover::baselines {
+
+std::vector<bool> greedy_cover(const hg::Hypergraph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<bool> in_cover(n, false);
+  std::vector<bool> covered(g.num_edges(), false);
+  std::uint32_t remaining = g.num_edges();
+  // new_cover[v] = # currently-uncovered edges v would cover.
+  std::vector<std::uint32_t> new_cover(n, 0);
+  for (hg::VertexId v = 0; v < n; ++v) new_cover[v] = g.degree(v);
+
+  while (remaining > 0) {
+    hg::VertexId best = n;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (hg::VertexId v = 0; v < n; ++v) {
+      if (in_cover[v] || new_cover[v] == 0) continue;
+      const double ratio =
+          static_cast<double>(g.weight(v)) / new_cover[v];
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = v;
+      }
+    }
+    in_cover[best] = true;
+    for (const hg::EdgeId e : g.edges_of(best)) {
+      if (covered[e]) continue;
+      covered[e] = true;
+      --remaining;
+      for (const hg::VertexId u : g.vertices_of(e)) --new_cover[u];
+    }
+  }
+  return in_cover;
+}
+
+LocalRatioResult local_ratio_cover(const hg::Hypergraph& g) {
+  LocalRatioResult res;
+  res.in_cover.assign(g.num_vertices(), false);
+  res.duals.assign(g.num_edges(), 0.0);
+  std::vector<hg::Weight> resid(g.weights().begin(), g.weights().end());
+
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    hg::Weight pay = std::numeric_limits<hg::Weight>::max();
+    bool already = false;
+    for (const hg::VertexId v : g.vertices_of(e)) {
+      if (resid[v] == 0) {
+        already = true;  // a zero-residual vertex will be in the cover
+        break;
+      }
+      pay = std::min(pay, resid[v]);
+    }
+    if (already) continue;
+    res.duals[e] = static_cast<double>(pay);
+    res.dual_total += res.duals[e];
+    for (const hg::VertexId v : g.vertices_of(e)) resid[v] -= pay;
+  }
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Isolated vertices keep full residual and stay out of the cover.
+    if (resid[v] == 0 && g.degree(v) > 0) {
+      res.in_cover[v] = true;
+      res.cover_weight += g.weight(v);
+    }
+  }
+  return res;
+}
+
+}  // namespace hypercover::baselines

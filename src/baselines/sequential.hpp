@@ -1,0 +1,30 @@
+#pragma once
+// Sequential reference algorithms: quality baselines for the experiments
+// and ground-truth generators for the tests (the exact solver lives in
+// verify/verify.hpp).
+
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::baselines {
+
+/// Classical greedy weighted set cover: repeatedly pick the vertex with
+/// the best weight / newly-covered-edges ratio. H_n-approximate;
+/// O(links * log n)-ish centralized time. Quality reference only.
+[[nodiscard]] std::vector<bool> greedy_cover(const hg::Hypergraph& g);
+
+/// Bar-Yehuda–Even local-ratio: scan edges once, paying each edge the
+/// minimum residual weight among its vertices; zero-residual vertices form
+/// the cover. Deterministic f-approximation — the sequential analogue of
+/// the paper's primal-dual scheme (duals = payments).
+struct LocalRatioResult {
+  std::vector<bool> in_cover;
+  hg::Weight cover_weight = 0;
+  std::vector<double> duals;  ///< feasible edge packing (the payments)
+  double dual_total = 0;
+};
+
+[[nodiscard]] LocalRatioResult local_ratio_cover(const hg::Hypergraph& g);
+
+}  // namespace hypercover::baselines

@@ -1,0 +1,317 @@
+#pragma once
+// Synchronous CONGEST engine on the bipartite network N(E ∪ V) of §2.
+//
+// The network has one node per hypergraph vertex ("server") and one node
+// per hyperedge ("client"); there is a link {v, e} iff v ∈ e. Execution
+// proceeds in synchronous rounds: every non-halted node reads the messages
+// sent to it in the previous round, updates local state, and sends at most
+// one message per incident link. Message sizes are accounted in bits and
+// checked against the CONGEST bound.
+//
+// The engine is a template over a Protocol type:
+//
+//   struct Protocol {
+//     using VertexMsg = ...;   // vertex -> edge payload, trivially copyable,
+//                              // with  std::uint32_t bit_size() const
+//     using EdgeMsg = ...;     // edge -> vertex payload, same requirements
+//     struct VertexAgent {     // one per hypergraph vertex
+//       template <class Ctx> void step(Ctx& ctx);
+//       bool halted() const;
+//     };
+//     struct EdgeAgent {       // one per hyperedge
+//       template <class Ctx> void step(Ctx& ctx);
+//       bool halted() const;
+//     };
+//   };
+//
+// Determinism: agents are stepped in id order, message buffers are flat
+// per-link slots, and no other iteration order exists — a protocol run is a
+// pure function of (hypergraph, agent construction).
+
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "congest/stats.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/math.hpp"
+
+namespace hypercover::congest {
+
+template <class M>
+concept Message = std::is_trivially_copyable_v<M> && requires(const M m) {
+  { m.bit_size() } -> std::convertible_to<std::uint32_t>;
+};
+
+namespace detail {
+
+/// Per-direction mailbox: one slot per network link, flat over the CSR
+/// positions of the receiving side, double-buffered (current / next).
+template <class M>
+struct LinkBuffer {
+  std::vector<M> current, next;
+  std::vector<std::uint8_t> current_present, next_present;
+
+  void resize(std::size_t links) {
+    current.resize(links);
+    next.resize(links);
+    current_present.assign(links, 0);
+    next_present.assign(links, 0);
+  }
+
+  void swap_and_clear() {
+    current.swap(next);
+    current_present.swap(next_present);
+    std::fill(next_present.begin(), next_present.end(), 0);
+  }
+};
+
+inline std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace detail
+
+template <class Protocol>
+  requires Message<typename Protocol::VertexMsg> &&
+           Message<typename Protocol::EdgeMsg>
+class Engine {
+ public:
+  using VertexMsg = typename Protocol::VertexMsg;
+  using EdgeMsg = typename Protocol::EdgeMsg;
+  using VertexAgent = typename Protocol::VertexAgent;
+  using EdgeAgent = typename Protocol::EdgeAgent;
+
+  /// Context handed to a vertex agent during its step. `local` indices
+  /// enumerate the vertex's incident edges in edges_of(v) order.
+  class VertexCtx {
+   public:
+    [[nodiscard]] std::uint32_t round() const noexcept { return eng_->round_; }
+    [[nodiscard]] hg::VertexId id() const noexcept { return v_; }
+    [[nodiscard]] std::uint32_t degree() const noexcept {
+      return eng_->graph_->degree(v_);
+    }
+    [[nodiscard]] hg::EdgeId edge_at(std::uint32_t local) const noexcept {
+      return eng_->graph_->edges_of(v_)[local];
+    }
+    /// Message from incident edge `local` sent last round, or nullptr.
+    [[nodiscard]] const EdgeMsg* message_from(std::uint32_t local) const {
+      const std::size_t slot = eng_->vertex_base(v_) + local;
+      return eng_->to_vertex_.current_present[slot]
+                 ? &eng_->to_vertex_.current[slot]
+                 : nullptr;
+    }
+    /// Sends a message to incident edge `local`, delivered next round.
+    void send(std::uint32_t local, const VertexMsg& msg) {
+      eng_->send_to_edge(v_, local, msg);
+    }
+    /// Sends `msg` on every incident link (one message per link).
+    void broadcast(const VertexMsg& msg) {
+      for (std::uint32_t k = 0; k < degree(); ++k) send(k, msg);
+    }
+
+   private:
+    friend class Engine;
+    VertexCtx(Engine* eng, hg::VertexId v) : eng_(eng), v_(v) {}
+    Engine* eng_;
+    hg::VertexId v_;
+  };
+
+  /// Context handed to an edge agent. `local` indices enumerate the edge's
+  /// member vertices in vertices_of(e) order.
+  class EdgeCtx {
+   public:
+    [[nodiscard]] std::uint32_t round() const noexcept { return eng_->round_; }
+    [[nodiscard]] hg::EdgeId id() const noexcept { return e_; }
+    [[nodiscard]] std::uint32_t size() const noexcept {
+      return eng_->graph_->edge_size(e_);
+    }
+    [[nodiscard]] hg::VertexId vertex_at(std::uint32_t local) const noexcept {
+      return eng_->graph_->vertices_of(e_)[local];
+    }
+    [[nodiscard]] const VertexMsg* message_from(std::uint32_t local) const {
+      const std::size_t slot = eng_->edge_base(e_) + local;
+      return eng_->to_edge_.current_present[slot]
+                 ? &eng_->to_edge_.current[slot]
+                 : nullptr;
+    }
+    void send(std::uint32_t local, const EdgeMsg& msg) {
+      eng_->send_to_vertex(e_, local, msg);
+    }
+    void broadcast(const EdgeMsg& msg) {
+      for (std::uint32_t k = 0; k < size(); ++k) send(k, msg);
+    }
+
+   private:
+    friend class Engine;
+    EdgeCtx(Engine* eng, hg::EdgeId e) : eng_(eng), e_(e) {}
+    Engine* eng_;
+    hg::EdgeId e_;
+  };
+
+  /// The graph must outlive the engine. Agents are value-constructed;
+  /// protocols initialize them via a set-up pass or first-round logic.
+  Engine(const hg::Hypergraph& graph, Options options = {})
+      : graph_(&graph), options_(options) {
+    vertex_agents_.resize(graph.num_vertices());
+    edge_agents_.resize(graph.num_edges());
+    to_edge_.resize(graph.num_incidences());
+    to_vertex_.resize(graph.num_incidences());
+    build_slot_bases();
+    const std::uint64_t network_size =
+        std::uint64_t{graph.num_vertices()} + graph.num_edges();
+    stats_.bandwidth_limit_bits =
+        options_.bandwidth_factor *
+        static_cast<std::uint32_t>(util::ceil_log2(network_size + 1));
+  }
+
+  [[nodiscard]] std::span<VertexAgent> vertex_agents() noexcept {
+    return vertex_agents_;
+  }
+  [[nodiscard]] std::span<EdgeAgent> edge_agents() noexcept {
+    return edge_agents_;
+  }
+  [[nodiscard]] const VertexAgent& vertex_agent(hg::VertexId v) const {
+    return vertex_agents_[v];
+  }
+  [[nodiscard]] const EdgeAgent& edge_agent(hg::EdgeId e) const {
+    return edge_agents_[e];
+  }
+  [[nodiscard]] const hg::Hypergraph& graph() const noexcept { return *graph_; }
+
+  /// Runs the protocol to quiescence (all agents halted) or to the round
+  /// limit. Returns the accumulated statistics.
+  RunStats run() {
+    while (round_ < options_.max_rounds) {
+      if (all_halted()) {
+        stats_.completed = true;
+        break;
+      }
+      step_round();
+    }
+    stats_.rounds = round_;
+    if (!stats_.completed && all_halted()) stats_.completed = true;
+    return stats_;
+  }
+
+  /// Executes exactly one synchronous round (exposed for lock-step tests).
+  void step_round() {
+    if (options_.keep_round_stats) stats_.per_round.emplace_back();
+    for (hg::VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      if (vertex_agents_[v].halted()) continue;
+      VertexCtx ctx(this, v);
+      vertex_agents_[v].step(ctx);
+    }
+    for (hg::EdgeId e = 0; e < graph_->num_edges(); ++e) {
+      if (edge_agents_[e].halted()) continue;
+      EdgeCtx ctx(this, e);
+      edge_agents_[e].step(ctx);
+    }
+    to_edge_.swap_and_clear();
+    to_vertex_.swap_and_clear();
+    ++round_;
+  }
+
+  [[nodiscard]] bool all_halted() const {
+    for (const auto& a : vertex_agents_) {
+      if (!a.halted()) return false;
+    }
+    for (const auto& a : edge_agents_) {
+      if (!a.halted()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class VertexCtx;
+  friend class EdgeCtx;
+
+  [[nodiscard]] std::size_t vertex_base(hg::VertexId v) const noexcept {
+    return vertex_slot_base_[v];
+  }
+  [[nodiscard]] std::size_t edge_base(hg::EdgeId e) const noexcept {
+    return edge_slot_base_[e];
+  }
+
+  void build_slot_bases() {
+    const std::uint32_t n = graph_->num_vertices();
+    const std::uint32_t m = graph_->num_edges();
+    vertex_slot_base_.resize(n + 1, 0);
+    for (hg::VertexId v = 0; v < n; ++v) {
+      vertex_slot_base_[v + 1] = vertex_slot_base_[v] + graph_->degree(v);
+    }
+    edge_slot_base_.resize(m + 1, 0);
+    for (hg::EdgeId e = 0; e < m; ++e) {
+      edge_slot_base_[e + 1] = edge_slot_base_[e] + graph_->edge_size(e);
+    }
+    // Cross indices: the slot on the *receiving* side for each link, from
+    // the sender's local index. Edge ids in edges_of(v) ascend, so a cursor
+    // per vertex assigns edge-side member positions in one pass and vice
+    // versa.
+    v_send_slot_.resize(graph_->num_incidences());
+    e_send_slot_.resize(graph_->num_incidences());
+    std::vector<std::uint32_t> cursor(n, 0);
+    for (hg::EdgeId e = 0; e < m; ++e) {
+      const auto members = graph_->vertices_of(e);
+      for (std::uint32_t j = 0; j < members.size(); ++j) {
+        const hg::VertexId v = members[j];
+        const std::uint32_t k = cursor[v]++;  // e is v's k-th edge
+        assert(graph_->edges_of(v)[k] == e);
+        v_send_slot_[vertex_slot_base_[v] + k] = edge_slot_base_[e] + j;
+        e_send_slot_[edge_slot_base_[e] + j] = vertex_slot_base_[v] + k;
+      }
+    }
+  }
+
+  void send_to_edge(hg::VertexId v, std::uint32_t local, const VertexMsg& msg) {
+    const std::size_t slot = v_send_slot_[vertex_slot_base_[v] + local];
+    assert(!to_edge_.next_present[slot] && "one message per link per round");
+    to_edge_.next[slot] = msg;
+    to_edge_.next_present[slot] = 1;
+    account(msg.bit_size(), slot * 2);
+  }
+
+  void send_to_vertex(hg::EdgeId e, std::uint32_t local, const EdgeMsg& msg) {
+    const std::size_t slot = e_send_slot_[edge_slot_base_[e] + local];
+    assert(!to_vertex_.next_present[slot] && "one message per link per round");
+    to_vertex_.next[slot] = msg;
+    to_vertex_.next_present[slot] = 1;
+    account(msg.bit_size(), slot * 2 + 1);
+  }
+
+  void account(std::uint32_t bits, std::uint64_t slot_key) {
+    ++stats_.total_messages;
+    stats_.total_bits += bits;
+    if (bits > stats_.max_message_bits) stats_.max_message_bits = bits;
+    if (bits > stats_.bandwidth_limit_bits) ++stats_.bandwidth_violations;
+    stats_.transcript_hash = detail::mix_hash(
+        stats_.transcript_hash,
+        (std::uint64_t{round_} << 40) ^ (slot_key << 8) ^ bits);
+    if (options_.keep_round_stats) {
+      auto& rs = stats_.per_round.back();
+      ++rs.messages;
+      rs.bits += bits;
+      if (bits > rs.max_message_bits) rs.max_message_bits = bits;
+    }
+  }
+
+  const hg::Hypergraph* graph_;
+  Options options_;
+  std::uint32_t round_ = 0;
+  RunStats stats_;
+  std::vector<VertexAgent> vertex_agents_;
+  std::vector<EdgeAgent> edge_agents_;
+  detail::LinkBuffer<VertexMsg> to_edge_;
+  detail::LinkBuffer<EdgeMsg> to_vertex_;
+  std::vector<std::size_t> vertex_slot_base_;  // CSR bases, size n+1
+  std::vector<std::size_t> edge_slot_base_;    // size m+1
+  std::vector<std::size_t> v_send_slot_;       // (v,k) -> edge-side slot
+  std::vector<std::size_t> e_send_slot_;       // (e,j) -> vertex-side slot
+};
+
+}  // namespace hypercover::congest

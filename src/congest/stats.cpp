@@ -1,0 +1,15 @@
+#include "congest/stats.hpp"
+
+#include <ostream>
+
+namespace hypercover::congest {
+
+std::ostream& operator<<(std::ostream& os, const RunStats& s) {
+  return os << "rounds=" << s.rounds << (s.completed ? "" : " (INCOMPLETE)")
+            << " messages=" << s.total_messages << " bits=" << s.total_bits
+            << " max_msg_bits=" << s.max_message_bits << "/"
+            << s.bandwidth_limit_bits
+            << " violations=" << s.bandwidth_violations;
+}
+
+}  // namespace hypercover::congest

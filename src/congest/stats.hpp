@@ -1,0 +1,54 @@
+#pragma once
+// Execution statistics for a CONGEST run.
+//
+// Rounds are the paper's complexity measure; messages and bits are tracked
+// so benches can verify the Appendix B claim that every message fits in
+// O(log n) bits (E9 in DESIGN.md).
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace hypercover::congest {
+
+struct RoundStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint32_t max_message_bits = 0;
+};
+
+struct RunStats {
+  /// Number of synchronous communication rounds executed.
+  std::uint32_t rounds = 0;
+  /// True if every node halted before the round limit.
+  bool completed = false;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  /// Largest single message observed, in bits.
+  std::uint32_t max_message_bits = 0;
+  /// The CONGEST bandwidth bound this run was checked against
+  /// (bandwidth_factor * ceil(log2(#network nodes))), in bits.
+  std::uint32_t bandwidth_limit_bits = 0;
+  /// Messages that exceeded the bound (0 in a compliant protocol).
+  std::uint64_t bandwidth_violations = 0;
+  /// Order-insensitive-inputs, order-sensitive-schedule digest of the full
+  /// message transcript; equal seeds must produce equal hashes.
+  std::uint64_t transcript_hash = 0;
+  /// Per-round breakdown (kept only when Options::keep_round_stats).
+  std::vector<RoundStats> per_round;
+};
+
+std::ostream& operator<<(std::ostream& os, const RunStats& s);
+
+/// Engine configuration.
+struct Options {
+  /// Hard stop against non-terminating protocols.
+  std::uint32_t max_rounds = 1u << 20;
+  /// CONGEST allows messages of c * log2(network size) bits; this is c.
+  /// Violations are recorded, not fatal (tests assert the count is 0).
+  std::uint32_t bandwidth_factor = 4;
+  /// Retain per-round message statistics (costs memory on long runs).
+  bool keep_round_stats = false;
+};
+
+}  // namespace hypercover::congest

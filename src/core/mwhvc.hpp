@@ -1,0 +1,78 @@
+#pragma once
+// Public entry point for Algorithm MWHVC (the paper's §3 contribution).
+//
+// Computes an (f + eps)-approximate minimum-weight hypergraph vertex cover
+// by executing the distributed protocol of core/protocol.hpp on the CONGEST
+// simulator, and returns the cover together with the dual certificate and
+// the full execution statistics (rounds, messages, bits, raise/stuck
+// counters) that the benches report.
+
+#include <string>
+#include <vector>
+
+#include "congest/stats.hpp"
+#include "core/params.hpp"
+#include "core/protocol.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::core {
+
+struct MwhvcOptions {
+  /// Approximation slack: the returned cover weighs at most (f + eps) * OPT.
+  /// Must lie in (0, 1]. Use eps = 1/(nW) for an f-approximation
+  /// (Corollary 10); see f_approx_epsilon().
+  double eps = 0.5;
+  /// Rank bound used for beta; 0 means "use the instance rank". Values
+  /// larger than the true rank are allowed (looser guarantee).
+  std::uint32_t f_override = 0;
+  AlphaMode alpha_mode = AlphaMode::kLocalPerEdge;
+  /// Multiplier used when alpha_mode == kFixed; must be >= 2 (Theorem 8).
+  double alpha_fixed = 2.0;
+  /// Theorem 9's gamma constant.
+  double gamma = 0.001;
+  /// Appendix C variant: duals grow by bid/2, guaranteeing at most one
+  /// level increment per vertex per iteration (Corollary 21).
+  bool appendix_c = false;
+  /// Populate per-edge / per-vertex trace vectors (costs O(n z + m)).
+  bool collect_trace = false;
+  /// Re-verify Claims 1 and 2 (Eq. 1) and dual feasibility after every
+  /// iteration; failures are reported in MwhvcResult. O(links) per
+  /// iteration — intended for tests.
+  bool check_invariants = false;
+  congest::Options engine;
+};
+
+struct MwhvcResult {
+  /// in_cover[v] — the computed cover C.
+  std::vector<bool> in_cover;
+  hg::Weight cover_weight = 0;
+  /// Final dual variables δ(e) (a feasible edge packing, Claim 2); their
+  /// sum certifies w(C) <= (f + eps) * Σδ <= (f + eps) * OPT (Claim 20).
+  std::vector<double> duals;
+  double dual_total = 0;
+  /// Final level l(v) of every vertex (always < z, Claim 4).
+  std::vector<std::uint32_t> levels;
+  /// Primal-dual iterations executed (each costs 4 network rounds; +2
+  /// initialization rounds).
+  std::uint32_t iterations = 0;
+  congest::RunStats net;
+  // Derived parameters of the run.
+  double beta = 0;
+  std::uint32_t z = 0;
+  std::uint32_t f = 0;
+  double alpha_global = 0;
+  Trace trace;
+  // Invariant checking (only meaningful when check_invariants was set).
+  bool invariants_ok = true;
+  std::string invariant_violation;
+};
+
+/// Runs Algorithm MWHVC on g. Throws std::invalid_argument on bad options.
+[[nodiscard]] MwhvcResult solve_mwhvc(const hg::Hypergraph& g,
+                                      const MwhvcOptions& opts = {});
+
+/// The eps of Corollary 10: eps = 1/(nW) turns the (f+eps) guarantee into
+/// a clean f-approximation for integral weights. Clamped to (0, 1].
+[[nodiscard]] double f_approx_epsilon(const hg::Hypergraph& g);
+
+}  // namespace hypercover::core

@@ -1,0 +1,215 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/params.hpp"
+
+namespace hypercover::core {
+
+namespace {
+
+using util::Rational;
+
+/// 2^-k as an exact rational (k < 63 enforced by level_cap ranges).
+Rational pow2_neg(std::uint32_t k) {
+  return Rational(1, static_cast<Rational::Int>(1) << k);
+}
+
+/// True iff the denominator is a power of two. Sums/products of dyadic
+/// rationals of the magnitudes seen here are computed *exactly* by the
+/// engine's double arithmetic, so a dyadic tie branches identically in
+/// both implementations.
+bool dyadic(const Rational& r) {
+  const Rational::Int d = r.den();
+  return (d & (d - 1)) == 0;
+}
+
+/// Flags comparisons the double engine could resolve the other way:
+/// a nonzero-but-tiny gap, or an exact tie whose operands pass through
+/// rounded (non-dyadic) double values. `lhs_dyadic` tells whether every
+/// addend of the left operand was dyadic (tracked per vertex).
+bool is_near(const Rational& a, const Rational& b, bool lhs_dyadic) {
+  const Rational diff = a - b;
+  if (diff == Rational(0)) return !(lhs_dyadic && dyadic(b));
+  const double x = a.to_double();
+  const double y = b.to_double();
+  const double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+  return std::fabs(diff.to_double()) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+ReferenceResult solve_reference(const hg::Hypergraph& g,
+                                const ReferenceOptions& opts) {
+  if (!(opts.eps > Rational(0)) || opts.eps > Rational(1)) {
+    throw std::invalid_argument("solve_reference: eps must be in (0, 1]");
+  }
+  if (opts.alpha < 2) {
+    throw std::invalid_argument("solve_reference: alpha must be >= 2");
+  }
+  const std::uint32_t rank = std::max<std::uint32_t>(g.rank(), 1);
+  const std::uint32_t f =
+      opts.f_override != 0 ? std::max(opts.f_override, rank) : rank;
+
+  ReferenceResult res;
+  // beta = eps / (f + eps), exactly.
+  res.beta = opts.eps / (Rational(static_cast<std::int64_t>(f)) + opts.eps);
+  // z = ceil(log2(1/beta)): smallest z with 2^-z <= beta.
+  res.z = 0;
+  while (pow2_neg(res.z) > res.beta) ++res.z;
+  res.in_cover.assign(g.num_vertices(), false);
+  res.duals.assign(g.num_edges(), Rational(0));
+  res.levels.assign(g.num_vertices(), 0);
+  if (g.num_edges() == 0) {
+    res.completed = true;
+    return res;
+  }
+
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t m = g.num_edges();
+  const Rational alpha(opts.alpha);
+
+  // Step 2 (iteration 0): bid0(e) = w(v*) / (2 |E(v*)|) for the argmin
+  // normalized weight; ties break to the smallest member id, like the
+  // engine's first-strictly-better scan over sorted members.
+  std::vector<Rational> bid(m);
+  std::vector<bool> covered(m, false);
+  std::vector<Rational> sum_delta(n, Rational(0));
+  std::vector<bool> retired(n, false);  // in C, or all edges covered
+  std::uint32_t uncovered = m;
+
+  for (hg::EdgeId e = 0; e < m; ++e) {
+    const auto members = g.vertices_of(e);
+    hg::VertexId best = members[0];
+    for (const hg::VertexId v : members) {
+      // w(v)/d(v) < w(best)/d(best)  <=>  w(v) d(best) < w(best) d(v).
+      if (Rational(g.weight(v)) * Rational(g.degree(best)) <
+          Rational(g.weight(best)) * Rational(g.degree(v))) {
+        best = v;
+      }
+    }
+    bid[e] = Rational(g.weight(best)) /
+             Rational(2 * static_cast<std::int64_t>(g.degree(best)));
+    res.duals[e] = bid[e];
+  }
+  for (hg::VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) {
+      retired[v] = true;
+      continue;
+    }
+    for (const hg::EdgeId e : g.edges_of(v)) sum_delta[v] += res.duals[e];
+  }
+
+  // Per-vertex "all incident bids dyadic" — such vertices' sums are exact
+  // in double arithmetic, so their exact ties are not fragile.
+  std::vector<bool> vertex_dyadic(n, true);
+  for (hg::EdgeId e = 0; e < m; ++e) {
+    if (dyadic(bid[e])) continue;
+    for (const hg::VertexId v : g.vertices_of(e)) vertex_dyadic[v] = false;
+  }
+
+  std::vector<std::uint32_t> incr(n, 0);
+  std::vector<bool> raise(n, false);
+
+  for (res.iterations = 1; uncovered > 0; ++res.iterations) {
+    if (res.iterations > opts.max_iterations) return res;  // not completed
+
+    // Phase A (steps 3a, 3d): beta-tightness joins, then level increments.
+    // Joins and increments are computed for every active vertex from the
+    // *previous* iteration's duals before any coverage propagates, exactly
+    // like the simultaneous distributed rounds.
+    for (hg::VertexId v = 0; v < n; ++v) {
+      incr[v] = 0;
+      if (retired[v]) continue;
+      const Rational w(g.weight(v));
+      if (is_near(sum_delta[v], (Rational(1) - res.beta) * w,
+                  vertex_dyadic[v] && dyadic(res.beta))) {
+        res.near_tie = true;
+      }
+      if (sum_delta[v] >= (Rational(1) - res.beta) * w) {
+        res.in_cover[v] = true;
+        retired[v] = true;
+        continue;
+      }
+      while (res.levels[v] < res.z) {
+        const Rational threshold =
+            w * (Rational(1) - pow2_neg(res.levels[v] + 1));
+        if (is_near(sum_delta[v], threshold, vertex_dyadic[v])) {
+          res.near_tie = true;
+        }
+        if (!(sum_delta[v] > threshold)) break;
+        ++res.levels[v];
+        ++incr[v];
+      }
+      if (res.levels[v] >= res.z) {  // Claim 4: implies beta-tightness
+        res.in_cover[v] = true;
+        retired[v] = true;
+        incr[v] = 0;
+      }
+    }
+
+    // Coverage propagation (steps 3b, 3c) + Phase B halvings (step 3d).
+    for (hg::EdgeId e = 0; e < m; ++e) {
+      if (covered[e]) continue;
+      std::uint32_t halvings = 0;
+      bool now_covered = false;
+      for (const hg::VertexId v : g.vertices_of(e)) {
+        if (res.in_cover[v]) now_covered = true;
+        halvings += incr[v];
+      }
+      if (now_covered) {
+        covered[e] = true;
+        --uncovered;
+        continue;  // δ(e) frozen
+      }
+      if (halvings > 0) bid[e] = bid[e].scaled_down_pow2(halvings);
+    }
+    if (uncovered == 0) break;
+
+    // Phase C (step 3e): raise/stuck per vertex over still-active edges.
+    for (hg::VertexId v = 0; v < n; ++v) {
+      if (retired[v]) continue;
+      Rational active_bids(0);
+      bool any_active = false;
+      for (const hg::EdgeId e : g.edges_of(v)) {
+        if (!covered[e]) {
+          active_bids += bid[e];
+          any_active = true;
+        }
+      }
+      if (!any_active) {
+        retired[v] = true;
+        continue;
+      }
+      const Rational w(g.weight(v));
+      const Rational threshold = w * pow2_neg(res.levels[v] + 1) / alpha;
+      if (is_near(active_bids, threshold, vertex_dyadic[v])) {
+        res.near_tie = true;
+      }
+      raise[v] = active_bids <= threshold;
+    }
+
+    // Phase D (step 3f): unanimous raise scales the bid; duals grow.
+    for (hg::EdgeId e = 0; e < m; ++e) {
+      if (covered[e]) continue;
+      bool all_raise = true;
+      for (const hg::VertexId v : g.vertices_of(e)) {
+        if (!raise[v]) all_raise = false;
+      }
+      if (all_raise) bid[e] *= alpha;
+      const Rational growth = opts.appendix_c ? bid[e].halved() : bid[e];
+      res.duals[e] += growth;
+      for (const hg::VertexId v : g.vertices_of(e)) sum_delta[v] += growth;
+    }
+  }
+
+  res.completed = true;
+  for (hg::VertexId v = 0; v < n; ++v) {
+    if (res.in_cover[v]) res.cover_weight += g.weight(v);
+  }
+  return res;
+}
+
+}  // namespace hypercover::core

@@ -1,0 +1,57 @@
+#pragma once
+// Exact-arithmetic reference implementation of Algorithm MWHVC.
+//
+// A centralized, iteration-synchronous re-execution of §3.2 with every
+// dual, bid, and threshold held as an exact rational (util::Rational).
+// It mirrors the distributed engine's phase semantics — joins use the
+// previous iteration's duals, level increments precede halvings, the
+// raise/stuck test sees the current iteration's halved bids — so on any
+// instance the two must make identical discrete decisions.
+//
+// Purpose: cross-validating the production double-arithmetic engine
+// (tests/reference_test.cpp) and serving as an executable specification
+// of the algorithm. Restricted to AlphaMode-equivalent *integer* alpha so
+// all quantities stay rational; instance sizes are bounded by the
+// 128-bit overflow guard in util::Rational.
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rational.hpp"
+
+namespace hypercover::core {
+
+struct ReferenceOptions {
+  /// Approximation slack as an exact rational in (0, 1].
+  util::Rational eps{1, 2};
+  /// Integer bid multiplier (>= 2); plays the role of alpha.
+  std::int64_t alpha = 2;
+  /// Appendix C variant (duals grow by bid/2).
+  bool appendix_c = false;
+  /// Rank override (0: instance rank).
+  std::uint32_t f_override = 0;
+  std::uint32_t max_iterations = 1u << 16;
+};
+
+struct ReferenceResult {
+  std::vector<bool> in_cover;
+  hg::Weight cover_weight = 0;
+  std::vector<util::Rational> duals;
+  std::vector<std::uint32_t> levels;
+  std::uint32_t iterations = 0;
+  bool completed = false;
+  util::Rational beta;
+  std::uint32_t z = 0;
+  /// True if some discrete decision (join, level increment, raise/stuck)
+  /// compared quantities within ~1e-9 relative of each other. On such
+  /// instances the double-arithmetic engine may legitimately branch the
+  /// other way at the tie, so decision-for-decision equality is only
+  /// guaranteed when this flag is false.
+  bool near_tie = false;
+};
+
+[[nodiscard]] ReferenceResult solve_reference(const hg::Hypergraph& g,
+                                              const ReferenceOptions& opts = {});
+
+}  // namespace hypercover::core

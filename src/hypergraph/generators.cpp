@@ -1,0 +1,227 @@
+#include "hypergraph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hypercover::hg {
+
+namespace {
+
+std::vector<Weight> draw_weights(std::uint32_t n, const WeightModel& wm,
+                                 util::Xoshiro256StarStar& rng) {
+  std::vector<Weight> w(n);
+  for (std::uint32_t v = 0; v < n; ++v) w[v] = wm(v, n, rng);
+  return w;
+}
+
+Builder builder_with_weights(std::uint32_t n, const WeightModel& wm,
+                             util::Xoshiro256StarStar& rng) {
+  Builder b;
+  for (const Weight w : draw_weights(n, wm, rng)) b.add_vertex(w);
+  return b;
+}
+
+}  // namespace
+
+Hypergraph random_uniform(std::uint32_t n, std::uint32_t m,
+                          std::uint32_t edge_size, const WeightModel& wm,
+                          std::uint64_t seed) {
+  if (edge_size < 1 || edge_size > n) {
+    throw std::invalid_argument("random_uniform: bad edge_size");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(n, wm, rng);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    const auto members = util::sample_distinct(n, edge_size, rng);
+    b.add_edge(std::span<const VertexId>(members));
+  }
+  return b.build();
+}
+
+Hypergraph random_bounded_degree(std::uint32_t n, std::uint32_t m,
+                                 std::uint32_t edge_size,
+                                 std::uint32_t degree_cap,
+                                 const WeightModel& wm, std::uint64_t seed) {
+  if (edge_size < 1 || edge_size > n) {
+    throw std::invalid_argument("random_bounded_degree: bad edge_size");
+  }
+  if (degree_cap < 1) {
+    throw std::invalid_argument("random_bounded_degree: degree_cap < 1");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(n, wm, rng);
+
+  // `open` holds vertices with residual capacity; sample edges from it and
+  // compact it as vertices saturate.
+  std::vector<VertexId> open(n);
+  std::vector<std::uint32_t> used(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) open[v] = v;
+
+  std::vector<VertexId> members(edge_size);
+  for (std::uint32_t e = 0; e < m && open.size() >= edge_size; ++e) {
+    // Partial Fisher–Yates over `open` picks edge_size distinct vertices.
+    for (std::uint32_t i = 0; i < edge_size; ++i) {
+      const auto j =
+          i + static_cast<std::uint32_t>(rng.below(open.size() - i));
+      std::swap(open[i], open[j]);
+      members[i] = open[i];
+    }
+    b.add_edge(std::span<const VertexId>(members));
+    // Remove saturated vertices (swap-erase keeps O(f) per edge).
+    for (std::uint32_t i = 0; i < edge_size; ++i) {
+      if (++used[members[i]] < degree_cap) continue;
+      const auto it = std::find(open.begin(), open.end(), members[i]);
+      std::swap(*it, open.back());
+      open.pop_back();
+    }
+  }
+  return b.build();
+}
+
+Hypergraph hyper_star(std::uint32_t num_edges, std::uint32_t edge_size,
+                      const WeightModel& wm, std::uint64_t seed) {
+  if (num_edges < 1 || edge_size < 1) {
+    throw std::invalid_argument("hyper_star: empty star");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  const std::uint32_t n = 1 + num_edges * (edge_size - 1);
+  Builder b = builder_with_weights(n, wm, rng);
+  std::vector<VertexId> members(edge_size);
+  VertexId next_leaf = 1;
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    members[0] = 0;  // hub
+    for (std::uint32_t i = 1; i < edge_size; ++i) members[i] = next_leaf++;
+    b.add_edge(std::span<const VertexId>(members));
+  }
+  return b.build();
+}
+
+Hypergraph cycle(std::uint32_t n, const WeightModel& wm, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("cycle: n < 3");
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(n, wm, rng);
+  for (std::uint32_t v = 0; v < n; ++v) b.add_edge({v, (v + 1) % n});
+  return b.build();
+}
+
+Hypergraph complete_graph(std::uint32_t n, const WeightModel& wm,
+                          std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("complete_graph: n < 2");
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(n, wm, rng);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) b.add_edge({u, v});
+  }
+  return b.build();
+}
+
+Hypergraph complete_bipartite(std::uint32_t a, std::uint32_t b_count,
+                              const WeightModel& wm, std::uint64_t seed) {
+  if (a < 1 || b_count < 1) {
+    throw std::invalid_argument("complete_bipartite: empty side");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(a + b_count, wm, rng);
+  for (std::uint32_t u = 0; u < a; ++u) {
+    for (std::uint32_t v = 0; v < b_count; ++v) b.add_edge({u, a + v});
+  }
+  return b.build();
+}
+
+Hypergraph grid(std::uint32_t rows, std::uint32_t cols, const WeightModel& wm,
+                std::uint64_t seed) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: empty grid");
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(rows * cols, wm, rng);
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) b.add_edge({id(r, c), id(r + 1, c)});
+    }
+  }
+  return b.build();
+}
+
+Hypergraph random_set_cover(std::uint32_t num_sets, std::uint32_t num_elements,
+                            std::uint32_t max_frequency, const WeightModel& wm,
+                            std::uint64_t seed) {
+  if (max_frequency < 1 || max_frequency > num_sets) {
+    throw std::invalid_argument("random_set_cover: bad max_frequency");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(num_sets, wm, rng);
+  for (std::uint32_t x = 0; x < num_elements; ++x) {
+    const auto freq =
+        static_cast<std::uint32_t>(rng.in_range(1, max_frequency));
+    const auto members = util::sample_distinct(num_sets, freq, rng);
+    b.add_edge(std::span<const VertexId>(members));
+  }
+  return b.build();
+}
+
+PlantedInstance planted_cover(std::uint32_t n, std::uint32_t num_edges,
+                              std::uint32_t edge_size, std::uint32_t opt_size,
+                              Weight fringe_weight, std::uint64_t seed) {
+  if (edge_size < 2 || opt_size < 1 || fringe_weight < 2) {
+    throw std::invalid_argument("planted_cover: need edge_size >= 2, "
+                                "opt_size >= 1, fringe_weight >= 2");
+  }
+  const std::uint32_t private_fringe = opt_size * (edge_size - 1);
+  if (n < opt_size + private_fringe + (edge_size - 1)) {
+    throw std::invalid_argument("planted_cover: n too small for the plant");
+  }
+  if (num_edges < opt_size) {
+    throw std::invalid_argument("planted_cover: need >= opt_size edges");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  Builder b;
+  // Vertices [0, opt_size) are the core (weight 1); the rest are fringe.
+  b.add_vertices(opt_size, 1);
+  b.add_vertices(n - opt_size, fringe_weight);
+
+  std::vector<VertexId> members(edge_size);
+  // One private edge per core vertex: its fringe partners never reappear.
+  VertexId next_private = opt_size;
+  for (VertexId c = 0; c < opt_size; ++c) {
+    members[0] = c;
+    for (std::uint32_t i = 1; i < edge_size; ++i) members[i] = next_private++;
+    b.add_edge(std::span<const VertexId>(members));
+  }
+  // Remaining edges: one random core vertex + shared-fringe partners.
+  const std::uint32_t shared_base = opt_size + private_fringe;
+  const std::uint32_t shared_count = n - shared_base;
+  for (std::uint32_t e = opt_size; e < num_edges; ++e) {
+    members[0] = static_cast<VertexId>(rng.below(opt_size));
+    const auto picks = util::sample_distinct(shared_count, edge_size - 1, rng);
+    for (std::uint32_t i = 1; i < edge_size; ++i) {
+      members[i] = shared_base + picks[i - 1];
+    }
+    b.add_edge(std::span<const VertexId>(members));
+  }
+
+  PlantedInstance inst;
+  inst.graph = b.build();
+  inst.optimal_cover.assign(n, false);
+  for (VertexId c = 0; c < opt_size; ++c) inst.optimal_cover[c] = true;
+  inst.optimal_weight = opt_size;
+  return inst;
+}
+
+Hypergraph gnp(std::uint32_t n, double p, const WeightModel& wm,
+               std::uint64_t seed) {
+  if (n < 1 || p < 0.0 || p > 1.0) throw std::invalid_argument("gnp: bad args");
+  util::Xoshiro256StarStar rng(seed);
+  Builder b = builder_with_weights(n, wm, rng);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) b.add_edge({u, v});
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hypercover::hg

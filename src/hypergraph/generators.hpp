@@ -1,0 +1,99 @@
+#pragma once
+// Instance generators for the experiment sweeps.
+//
+// Each generator is deterministic in (parameters, seed). The families are
+// chosen to isolate the parameters the paper's bounds depend on:
+//   - Delta sweeps at fixed f, n  (hyper-stars, bounded-degree instances)
+//   - f sweeps at fixed Delta      (uniform random f-rank hypergraphs)
+//   - n sweeps at fixed f, Delta   (bounded-degree instances)
+//   - W sweeps on fixed topology   (via hypergraph/weights.hpp)
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/weights.hpp"
+
+namespace hypercover::hg {
+
+/// Uniform random hypergraph: m edges, each over `edge_size` distinct
+/// uniformly chosen vertices (so rank f = edge_size; Delta concentrates
+/// around m * f / n). Requires 1 <= edge_size <= n.
+[[nodiscard]] Hypergraph random_uniform(std::uint32_t n, std::uint32_t m,
+                                        std::uint32_t edge_size,
+                                        const WeightModel& wm,
+                                        std::uint64_t seed);
+
+/// Random hypergraph with a hard degree cap: edges of size exactly
+/// `edge_size` are sampled among vertices with residual capacity until
+/// either `m` edges exist or fewer than `edge_size` vertices have capacity.
+/// Guarantees max_degree() <= degree_cap. Requires degree_cap >= 1.
+[[nodiscard]] Hypergraph random_bounded_degree(std::uint32_t n,
+                                               std::uint32_t m,
+                                               std::uint32_t edge_size,
+                                               std::uint32_t degree_cap,
+                                               const WeightModel& wm,
+                                               std::uint64_t seed);
+
+/// Hyper-star: one hub vertex contained in `num_edges` edges, each
+/// completed by (edge_size - 1) fresh leaf vertices. Delta = num_edges
+/// exactly, f = edge_size, n = 1 + num_edges * (edge_size - 1).
+/// The canonical topology for Delta sweeps.
+[[nodiscard]] Hypergraph hyper_star(std::uint32_t num_edges,
+                                    std::uint32_t edge_size,
+                                    const WeightModel& wm, std::uint64_t seed);
+
+/// Cycle graph C_n (f = 2, Delta = 2). Requires n >= 3.
+[[nodiscard]] Hypergraph cycle(std::uint32_t n, const WeightModel& wm,
+                               std::uint64_t seed);
+
+/// Complete graph K_n (f = 2, Delta = n - 1). Requires n >= 2.
+[[nodiscard]] Hypergraph complete_graph(std::uint32_t n, const WeightModel& wm,
+                                        std::uint64_t seed);
+
+/// Complete bipartite graph K_{a,b} (f = 2, Delta = max(a, b)).
+[[nodiscard]] Hypergraph complete_bipartite(std::uint32_t a, std::uint32_t b,
+                                            const WeightModel& wm,
+                                            std::uint64_t seed);
+
+/// 2D grid graph (rows x cols vertices; f = 2, Delta <= 4).
+[[nodiscard]] Hypergraph grid(std::uint32_t rows, std::uint32_t cols,
+                              const WeightModel& wm, std::uint64_t seed);
+
+/// Random Set Cover system rendered as a hypergraph (§2 reduction):
+/// vertices = sets, hyperedges = elements. Every element gets a frequency
+/// drawn uniformly from [1, max_frequency] (= rank bound f), so every
+/// edge is coverable. Requires max_frequency <= num_sets.
+[[nodiscard]] Hypergraph random_set_cover(std::uint32_t num_sets,
+                                          std::uint32_t num_elements,
+                                          std::uint32_t max_frequency,
+                                          const WeightModel& wm,
+                                          std::uint64_t seed);
+
+/// Erdos–Renyi style graph G(n, p) restricted to f = 2, keeping isolated
+/// vertices. Expected Delta ~ n*p.
+[[nodiscard]] Hypergraph gnp(std::uint32_t n, double p, const WeightModel& wm,
+                             std::uint64_t seed);
+
+/// Instance with a *planted optimal cover*, for quality experiments at
+/// scales where branch-and-bound is hopeless. Construction: `opt_size`
+/// "core" vertices of weight 1 and n - opt_size "fringe" vertices of
+/// weight fringe_weight >= 2; every edge contains exactly one core vertex
+/// and edge_size - 1 fringe vertices, and every core vertex gets at least
+/// one *private* edge (its fringe partners appear in that edge only).
+/// The core is then the unique optimum: any cover must pay >= 1 per
+/// private edge, and cheaper-than-fringe core weights make swapping in
+/// fringe vertices strictly worse.
+struct PlantedInstance {
+  Hypergraph graph;
+  std::vector<bool> optimal_cover;  ///< the planted core (indicator)
+  Weight optimal_weight = 0;
+};
+
+[[nodiscard]] PlantedInstance planted_cover(std::uint32_t n,
+                                            std::uint32_t num_edges,
+                                            std::uint32_t edge_size,
+                                            std::uint32_t opt_size,
+                                            Weight fringe_weight,
+                                            std::uint64_t seed);
+
+}  // namespace hypercover::hg

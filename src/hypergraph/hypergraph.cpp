@@ -1,0 +1,112 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hypercover::hg {
+
+std::uint32_t Hypergraph::local_max_degree(EdgeId e) const noexcept {
+  std::uint32_t best = 0;
+  for (const VertexId v : vertices_of(e)) best = std::max(best, degree(v));
+  return best;
+}
+
+Weight Hypergraph::weight_of(const std::vector<bool>& in_set) const {
+  if (in_set.size() != weights_.size()) {
+    throw std::invalid_argument("weight_of: indicator size mismatch");
+  }
+  Weight total = 0;
+  for (std::uint32_t v = 0; v < weights_.size(); ++v) {
+    if (in_set[v]) total += weights_[v];
+  }
+  return total;
+}
+
+VertexId Builder::add_vertex(Weight weight) {
+  weights_.push_back(weight);
+  return static_cast<VertexId>(weights_.size() - 1);
+}
+
+VertexId Builder::add_vertices(std::uint32_t count, Weight weight) {
+  const auto first = static_cast<VertexId>(weights_.size());
+  weights_.insert(weights_.end(), count, weight);
+  return first;
+}
+
+EdgeId Builder::add_edge(std::span<const VertexId> members) {
+  edges_.emplace_back(members.begin(), members.end());
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+EdgeId Builder::add_edge(std::initializer_list<VertexId> members) {
+  return add_edge(std::span<const VertexId>(members.begin(), members.size()));
+}
+
+Hypergraph Builder::build() {
+  const auto n = static_cast<std::uint32_t>(weights_.size());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (weights_[v] <= 0) {
+      throw std::invalid_argument("Builder: vertex " + std::to_string(v) +
+                                  " has non-positive weight");
+    }
+  }
+
+  Hypergraph g;
+  g.weights_ = std::move(weights_);
+  weights_.clear();
+
+  // Edge-side CSR; sort members, validate range and distinctness.
+  g.edge_offsets_.assign(1, 0);
+  g.edge_offsets_.reserve(edges_.size() + 1);
+  std::vector<std::uint32_t> degree(n, 0);
+  std::size_t total = 0;
+  for (auto& e : edges_) total += e.size();
+  g.edge_vertices_.reserve(total);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    auto& members = edges_[i];
+    if (members.empty()) {
+      throw std::invalid_argument("Builder: edge " + std::to_string(i) +
+                                  " is empty");
+    }
+    std::sort(members.begin(), members.end());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (members[j] >= n) {
+        throw std::invalid_argument("Builder: edge " + std::to_string(i) +
+                                    " references vertex out of range");
+      }
+      if (j > 0 && members[j] == members[j - 1]) {
+        throw std::invalid_argument("Builder: edge " + std::to_string(i) +
+                                    " has duplicate vertex " +
+                                    std::to_string(members[j]));
+      }
+      ++degree[members[j]];
+    }
+    g.rank_ = std::max(g.rank_, static_cast<std::uint32_t>(members.size()));
+    g.edge_vertices_.insert(g.edge_vertices_.end(), members.begin(),
+                            members.end());
+    g.edge_offsets_.push_back(g.edge_vertices_.size());
+  }
+
+  // Vertex-side CSR from the degree histogram.
+  g.vertex_offsets_.assign(n + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    g.vertex_offsets_[v + 1] = g.vertex_offsets_[v] + degree[v];
+    g.max_degree_ = std::max(g.max_degree_, degree[v]);
+  }
+  g.vertex_edges_.resize(g.edge_vertices_.size());
+  std::vector<std::size_t> cursor(g.vertex_offsets_.begin(),
+                                  g.vertex_offsets_.end() - 1);
+  for (std::size_t e = 0; e + 1 < g.edge_offsets_.size(); ++e) {
+    for (std::size_t k = g.edge_offsets_[e]; k < g.edge_offsets_[e + 1]; ++k) {
+      const VertexId v = g.edge_vertices_[k];
+      g.vertex_edges_[cursor[v]++] = static_cast<EdgeId>(e);
+    }
+  }
+  // Edge ids per vertex are emitted in increasing e, hence already sorted.
+
+  edges_.clear();
+  return g;
+}
+
+}  // namespace hypercover::hg

@@ -1,0 +1,126 @@
+#pragma once
+// Immutable weighted hypergraph in compressed-sparse-row form, stored in
+// both directions (vertex -> incident edges, edge -> member vertices).
+//
+// This is the problem input of the paper (§2): G = (V, E) with positive
+// integer vertex weights, rank f = max edge size, maximum degree
+// Delta = max number of edges containing a vertex. It doubles as the
+// topology of the CONGEST communication network N(E ∪ V, {{e,v} | v ∈ e}).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hypercover::hg {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = std::int64_t;
+
+class Builder;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Number of vertices n = |V| (includes isolated vertices).
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(weights_.size());
+  }
+
+  /// Number of hyperedges m = |E|.
+  [[nodiscard]] std::uint32_t num_edges() const noexcept {
+    return static_cast<std::uint32_t>(edge_offsets_.empty()
+                                          ? 0
+                                          : edge_offsets_.size() - 1);
+  }
+
+  [[nodiscard]] Weight weight(VertexId v) const noexcept { return weights_[v]; }
+
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return weights_;
+  }
+
+  /// E(v): edges incident to v, sorted ascending.
+  [[nodiscard]] std::span<const EdgeId> edges_of(VertexId v) const noexcept {
+    return {&vertex_edges_[vertex_offsets_[v]],
+            vertex_offsets_[v + 1] - vertex_offsets_[v]};
+  }
+
+  /// Member vertices of edge e, sorted ascending.
+  [[nodiscard]] std::span<const VertexId> vertices_of(EdgeId e) const noexcept {
+    return {&edge_vertices_[edge_offsets_[e]],
+            edge_offsets_[e + 1] - edge_offsets_[e]};
+  }
+
+  [[nodiscard]] std::uint32_t degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(vertex_offsets_[v + 1] -
+                                      vertex_offsets_[v]);
+  }
+
+  [[nodiscard]] std::uint32_t edge_size(EdgeId e) const noexcept {
+    return static_cast<std::uint32_t>(edge_offsets_[e + 1] - edge_offsets_[e]);
+  }
+
+  /// Rank f: maximum edge size (0 for edge-free graphs).
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+
+  /// Maximum degree Delta (0 if every vertex is isolated).
+  [[nodiscard]] std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  /// Local maximum degree Delta(e) = max_{v in e} |E(v)| (Theorem 9 remark).
+  [[nodiscard]] std::uint32_t local_max_degree(EdgeId e) const noexcept;
+
+  /// Total number of (vertex, edge) incidences = number of network links.
+  [[nodiscard]] std::size_t num_incidences() const noexcept {
+    return edge_vertices_.size();
+  }
+
+  /// Sum of weights over a vertex subset given as an indicator vector.
+  [[nodiscard]] Weight weight_of(const std::vector<bool>& in_set) const;
+
+ private:
+  friend class Builder;
+
+  std::vector<Weight> weights_;
+  std::vector<std::size_t> vertex_offsets_;  // size n+1
+  std::vector<EdgeId> vertex_edges_;
+  std::vector<std::size_t> edge_offsets_;  // size m+1
+  std::vector<VertexId> edge_vertices_;
+  std::uint32_t rank_ = 0;
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Incremental constructor for Hypergraph. Validates on build():
+///  - every edge is non-empty with distinct member vertices in range,
+///  - every weight is a positive integer (paper §2: w : V -> N+).
+class Builder {
+ public:
+  /// Adds a vertex with the given positive weight; returns its id.
+  VertexId add_vertex(Weight weight);
+
+  /// Adds `count` vertices of the given weight; returns the first id.
+  VertexId add_vertices(std::uint32_t count, Weight weight);
+
+  /// Adds a hyperedge over the given vertices; returns its id.
+  /// Members may be passed in any order; duplicates are rejected at build().
+  EdgeId add_edge(std::span<const VertexId> members);
+  EdgeId add_edge(std::initializer_list<VertexId> members);
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(weights_.size());
+  }
+  [[nodiscard]] std::uint32_t num_edges() const noexcept {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+
+  /// Validates and produces the immutable hypergraph. Throws
+  /// std::invalid_argument on malformed input. The builder is left empty.
+  [[nodiscard]] Hypergraph build();
+
+ private:
+  std::vector<Weight> weights_;
+  std::vector<std::vector<VertexId>> edges_;
+};
+
+}  // namespace hypercover::hg

@@ -1,0 +1,91 @@
+#include "hypergraph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hypercover::hg {
+
+namespace {
+
+/// Reads the next whitespace-separated token, skipping '#' comments.
+bool next_token(std::istream& is, std::string& tok) {
+  while (is >> tok) {
+    if (tok[0] != '#') return true;
+    std::string rest;
+    std::getline(is, rest);  // discard remainder of comment line
+  }
+  return false;
+}
+
+std::int64_t next_int(std::istream& is, const char* what) {
+  std::string tok;
+  if (!next_token(is, tok)) {
+    throw std::runtime_error(std::string("hypergraph read: missing ") + what);
+  }
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("hypergraph read: bad integer '") +
+                             tok + "' for " + what);
+  }
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const Hypergraph& g) {
+  os << "hypergraph " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    os << g.weight(v) << (v + 1 == g.num_vertices() ? '\n' : ' ');
+  }
+  for (std::uint32_t e = 0; e < g.num_edges(); ++e) {
+    const auto members = g.vertices_of(e);
+    os << members.size();
+    for (const VertexId v : members) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+Hypergraph read_text(std::istream& is) {
+  std::string tok;
+  if (!next_token(is, tok) || tok != "hypergraph") {
+    throw std::runtime_error("hypergraph read: missing 'hypergraph' header");
+  }
+  const auto n = next_int(is, "vertex count");
+  const auto m = next_int(is, "edge count");
+  if (n < 0 || m < 0) throw std::runtime_error("hypergraph read: negative size");
+
+  Builder b;
+  for (std::int64_t v = 0; v < n; ++v) b.add_vertex(next_int(is, "weight"));
+  std::vector<VertexId> members;
+  for (std::int64_t e = 0; e < m; ++e) {
+    const auto k = next_int(is, "edge size");
+    if (k <= 0) throw std::runtime_error("hypergraph read: edge size <= 0");
+    members.clear();
+    for (std::int64_t i = 0; i < k; ++i) {
+      const auto v = next_int(is, "edge member");
+      if (v < 0 || v >= n) {
+        throw std::runtime_error("hypergraph read: member out of range");
+      }
+      members.push_back(static_cast<VertexId>(v));
+    }
+    b.add_edge(std::span<const VertexId>(members));
+  }
+  return b.build();
+}
+
+std::string to_text(const Hypergraph& g) {
+  std::ostringstream os;
+  write_text(os, g);
+  return os.str();
+}
+
+Hypergraph from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace hypercover::hg

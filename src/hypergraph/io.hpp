@@ -1,0 +1,25 @@
+#pragma once
+// Plain-text hypergraph serialization.
+//
+// Format (whitespace separated, '#' starts a comment line):
+//   hypergraph <n> <m>
+//   <w_0> ... <w_{n-1}>          (n vertex weights)
+//   <k> <v_1> ... <v_k>          (m edge lines)
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::hg {
+
+void write_text(std::ostream& os, const Hypergraph& g);
+
+/// Parses the format above; throws std::runtime_error with a line-aware
+/// message on malformed input.
+[[nodiscard]] Hypergraph read_text(std::istream& is);
+
+[[nodiscard]] std::string to_text(const Hypergraph& g);
+[[nodiscard]] Hypergraph from_text(const std::string& text);
+
+}  // namespace hypercover::hg

@@ -1,0 +1,37 @@
+#include "hypergraph/stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+namespace hypercover::hg {
+
+Stats compute_stats(const Hypergraph& g) {
+  Stats s;
+  s.n = g.num_vertices();
+  s.m = g.num_edges();
+  s.rank = g.rank();
+  s.max_degree = g.max_degree();
+  s.incidences = g.num_incidences();
+  s.min_weight = std::numeric_limits<Weight>::max();
+  s.max_weight = 0;
+  for (const Weight w : g.weights()) {
+    s.min_weight = std::min(s.min_weight, w);
+    s.max_weight = std::max(s.max_weight, w);
+  }
+  if (s.n == 0) s.min_weight = 0;
+  s.weight_ratio = s.min_weight > 0 ? static_cast<double>(s.max_weight) /
+                                          static_cast<double>(s.min_weight)
+                                    : 0.0;
+  s.avg_degree = s.n > 0 ? static_cast<double>(s.incidences) / s.n : 0.0;
+  s.avg_edge_size = s.m > 0 ? static_cast<double>(s.incidences) / s.m : 0.0;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Stats& s) {
+  return os << "n=" << s.n << " m=" << s.m << " f=" << s.rank
+            << " Delta=" << s.max_degree << " W=" << s.weight_ratio
+            << " links=" << s.incidences;
+}
+
+}  // namespace hypercover::hg

@@ -1,0 +1,29 @@
+#pragma once
+// Instance statistics — the parameters every bound in the paper is
+// expressed in (n, m, f, Delta, W).
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::hg {
+
+struct Stats {
+  std::uint32_t n = 0;           ///< |V|
+  std::uint32_t m = 0;           ///< |E|
+  std::uint32_t rank = 0;        ///< f
+  std::uint32_t max_degree = 0;  ///< Delta
+  Weight min_weight = 0;
+  Weight max_weight = 0;
+  double weight_ratio = 0.0;  ///< W = max w / min w
+  std::size_t incidences = 0; ///< network links
+  double avg_degree = 0.0;
+  double avg_edge_size = 0.0;
+};
+
+[[nodiscard]] Stats compute_stats(const Hypergraph& g);
+
+std::ostream& operator<<(std::ostream& os, const Stats& s);
+
+}  // namespace hypercover::hg

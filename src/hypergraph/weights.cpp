@@ -1,0 +1,40 @@
+#include "hypergraph/weights.hpp"
+
+#include <stdexcept>
+
+namespace hypercover::hg {
+
+WeightModel unit_weights() {
+  return [](VertexId, std::uint32_t, util::Xoshiro256StarStar&) -> Weight {
+    return 1;
+  };
+}
+
+WeightModel uniform_weights(Weight max_weight) {
+  if (max_weight < 1) throw std::invalid_argument("uniform_weights: max < 1");
+  return [max_weight](VertexId, std::uint32_t,
+                      util::Xoshiro256StarStar& rng) -> Weight {
+    return rng.in_range(1, max_weight);
+  };
+}
+
+WeightModel exponential_weights(int log2_ratio) {
+  if (log2_ratio < 0 || log2_ratio > 62) {
+    throw std::invalid_argument("exponential_weights: log2_ratio out of range");
+  }
+  return [log2_ratio](VertexId, std::uint32_t,
+                      util::Xoshiro256StarStar& rng) -> Weight {
+    const auto exp = static_cast<int>(rng.in_range(0, log2_ratio));
+    return static_cast<Weight>(1) << exp;
+  };
+}
+
+WeightModel bimodal_weights(Weight heavy) {
+  if (heavy < 1) throw std::invalid_argument("bimodal_weights: heavy < 1");
+  return [heavy](VertexId v, std::uint32_t,
+                 util::Xoshiro256StarStar&) -> Weight {
+    return (v % 2 == 0) ? 1 : heavy;
+  };
+}
+
+}  // namespace hypercover::hg

@@ -1,0 +1,37 @@
+#pragma once
+// Vertex-weight models for instance generation.
+//
+// The paper's headline result is independence from W = max w / min w
+// (Tables 1, 2); the weight models here let benches sweep W over many
+// orders of magnitude while keeping the topology fixed.
+
+#include <cstdint>
+#include <functional>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/prng.hpp"
+
+namespace hypercover::hg {
+
+/// A weight model assigns a positive weight to vertex v of an instance
+/// with n vertices, drawing randomness from the supplied generator.
+using WeightModel =
+    std::function<Weight(VertexId v, std::uint32_t n,
+                         util::Xoshiro256StarStar& rng)>;
+
+/// All weights equal to 1 (unweighted instances).
+[[nodiscard]] WeightModel unit_weights();
+
+/// Uniform integer weights in [1, max_weight].
+[[nodiscard]] WeightModel uniform_weights(Weight max_weight);
+
+/// Exponentially spread weights: w = 2^U with U uniform in
+/// [0, log2_ratio], so W ~ 2^log2_ratio. Exercises the log W running-time
+/// dependence of the baselines at controlled magnitudes.
+[[nodiscard]] WeightModel exponential_weights(int log2_ratio);
+
+/// Two-point weights: half the vertices weigh 1, half weigh `heavy`.
+/// The adversarial shape for weight-sensitive algorithms.
+[[nodiscard]] WeightModel bimodal_weights(Weight heavy);
+
+}  // namespace hypercover::hg

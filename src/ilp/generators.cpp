@@ -1,0 +1,56 @@
+#include "ilp/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace hypercover::ilp {
+
+namespace {
+
+CoveringIlp generate(const IlpGenParams& p, std::uint64_t seed, bool zero_one) {
+  if (p.num_vars == 0 || p.max_row_support == 0 ||
+      p.max_row_support > p.num_vars || p.max_coeff < 1 || p.max_weight < 1 ||
+      p.rhs_multiple < 1) {
+    throw std::invalid_argument("ilp generator: bad parameters");
+  }
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<Value> weights(p.num_vars);
+  for (auto& w : weights) w = rng.in_range(1, p.max_weight);
+  CoveringIlp ilp(std::move(weights));
+
+  for (std::uint32_t i = 0; i < p.num_constraints; ++i) {
+    const auto support =
+        static_cast<std::uint32_t>(rng.in_range(1, p.max_row_support));
+    const auto vars = util::sample_distinct(p.num_vars, support, rng);
+    std::vector<Entry> row;
+    row.reserve(support);
+    Value coeff_sum = 0;
+    Value coeff_max = 0;
+    for (const std::uint32_t j : vars) {
+      const Value c = rng.in_range(1, p.max_coeff);
+      row.push_back({j, c});
+      coeff_sum += c;
+      coeff_max = std::max(coeff_max, c);
+    }
+    const Value rhs_cap =
+        zero_one ? coeff_sum : p.rhs_multiple * coeff_max;
+    ilp.add_constraint(std::move(row), rng.in_range(1, rhs_cap));
+  }
+  return ilp;
+}
+
+}  // namespace
+
+CoveringIlp random_covering_ilp(const IlpGenParams& params,
+                                std::uint64_t seed) {
+  return generate(params, seed, /*zero_one=*/false);
+}
+
+CoveringIlp random_zero_one_ilp(const IlpGenParams& params,
+                                std::uint64_t seed) {
+  return generate(params, seed, /*zero_one=*/true);
+}
+
+}  // namespace hypercover::ilp

@@ -1,0 +1,36 @@
+#pragma once
+// Random covering-ILP generators for the §5 experiments (E7).
+// Deterministic in (parameters, seed); every generated program is
+// satisfiable by construction.
+
+#include <cstdint>
+
+#include "ilp/ilp.hpp"
+
+namespace hypercover::ilp {
+
+struct IlpGenParams {
+  std::uint32_t num_vars = 16;
+  std::uint32_t num_constraints = 24;
+  /// f(A) upper bound: variables per constraint drawn from [1, this].
+  std::uint32_t max_row_support = 3;
+  /// Coefficients drawn from [1, this].
+  Value max_coeff = 4;
+  /// rhs drawn from [1, rhs_multiple * max row coefficient], which keeps
+  /// the box M(A, b) <= rhs_multiple.
+  Value rhs_multiple = 3;
+  /// Objective weights drawn from [1, this].
+  Value max_weight = 10;
+};
+
+/// General covering ILP (integer variables).
+[[nodiscard]] CoveringIlp random_covering_ilp(const IlpGenParams& params,
+                                              std::uint64_t seed);
+
+/// Zero-one covering program: like the general generator but the rhs is
+/// capped at the row's coefficient sum, so the all-ones assignment is
+/// feasible (the precondition of Lemma 14).
+[[nodiscard]] CoveringIlp random_zero_one_ilp(const IlpGenParams& params,
+                                              std::uint64_t seed);
+
+}  // namespace hypercover::ilp

@@ -1,0 +1,112 @@
+#include "ilp/ilp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hypercover::ilp {
+
+CoveringIlp::CoveringIlp(std::vector<Value> weights)
+    : weights_(std::move(weights)), col_counts_(weights_.size(), 0) {
+  for (const Value w : weights_) {
+    if (w <= 0) {
+      throw std::invalid_argument("CoveringIlp: weights must be positive");
+    }
+  }
+}
+
+void CoveringIlp::add_constraint(std::vector<Entry> entries, Value rhs) {
+  if (rhs <= 0) throw std::invalid_argument("CoveringIlp: rhs must be > 0");
+  if (entries.empty()) {
+    throw std::invalid_argument("CoveringIlp: empty constraint is infeasible");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.var < b.var; });
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].var >= num_vars()) {
+      throw std::invalid_argument("CoveringIlp: variable out of range");
+    }
+    if (entries[i].coeff <= 0) {
+      throw std::invalid_argument("CoveringIlp: coefficients must be > 0");
+    }
+    if (i > 0 && entries[i].var == entries[i - 1].var) {
+      throw std::invalid_argument("CoveringIlp: duplicate variable in row");
+    }
+    max_col_support_ = std::max(max_col_support_, ++col_counts_[entries[i].var]);
+  }
+  max_row_support_ =
+      std::max(max_row_support_, static_cast<std::uint32_t>(entries.size()));
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  row_offsets_.push_back(entries_.size());
+  rhs_.push_back(rhs);
+}
+
+Value CoveringIlp::box_bound() const noexcept {
+  Value m = 1;
+  for (std::uint32_t i = 0; i < num_constraints(); ++i) {
+    for (const Entry& ent : row(i)) {
+      m = std::max(m, (rhs_[i] + ent.coeff - 1) / ent.coeff);  // ceil
+    }
+  }
+  return m;
+}
+
+Value CoveringIlp::objective(std::span<const Value> x) const {
+  if (x.size() != num_vars()) {
+    throw std::invalid_argument("objective: solution size mismatch");
+  }
+  Value total = 0;
+  for (std::uint32_t j = 0; j < num_vars(); ++j) total += weights_[j] * x[j];
+  return total;
+}
+
+bool CoveringIlp::feasible(std::span<const Value> x) const {
+  if (x.size() != num_vars()) {
+    throw std::invalid_argument("feasible: solution size mismatch");
+  }
+  for (const Value xi : x) {
+    if (xi < 0) return false;
+  }
+  for (std::uint32_t i = 0; i < num_constraints(); ++i) {
+    Value lhs = 0;
+    for (const Entry& ent : row(i)) lhs += ent.coeff * x[ent.var];
+    if (lhs < rhs_[i]) return false;
+  }
+  return true;
+}
+
+bool CoveringIlp::satisfiable() const noexcept {
+  const Value m = box_bound();
+  for (std::uint32_t i = 0; i < num_constraints(); ++i) {
+    Value lhs = 0;
+    for (const Entry& ent : row(i)) lhs += ent.coeff * m;
+    if (lhs < rhs_[i]) return false;
+  }
+  return true;
+}
+
+Value brute_force_ilp_opt(const CoveringIlp& ilp) {
+  const Value m = ilp.box_bound();
+  const std::uint32_t n = ilp.num_vars();
+  double space = 1;
+  for (std::uint32_t j = 0; j < n; ++j) space *= static_cast<double>(m + 1);
+  if (space > 5e7) {
+    throw std::invalid_argument("brute_force_ilp_opt: search space too large");
+  }
+  std::vector<Value> x(n, 0);
+  Value best = -1;
+  // Odometer enumeration of [0, M]^n.
+  while (true) {
+    if (ilp.feasible(x)) {
+      const Value obj = ilp.objective(x);
+      if (best < 0 || obj < best) best = obj;
+    }
+    std::uint32_t j = 0;
+    while (j < n && x[j] == m) x[j++] = 0;
+    if (j == n) break;
+    ++x[j];
+  }
+  return best;
+}
+
+}  // namespace hypercover::ilp

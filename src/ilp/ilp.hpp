@@ -1,0 +1,86 @@
+#pragma once
+// Covering integer linear programs (§5):
+//   minimize  w^T x   subject to  A x >= b,  x in N^n,
+// with all entries of A, b, w non-negative. Stored sparsely by rows.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hypercover::ilp {
+
+using Value = std::int64_t;
+
+/// One nonzero of a constraint row.
+struct Entry {
+  std::uint32_t var = 0;
+  Value coeff = 0;  ///< strictly positive (zeros are simply not stored)
+};
+
+class CoveringIlp {
+ public:
+  CoveringIlp() = default;
+
+  /// Builds an ILP with `num_vars` variables and positive objective
+  /// weights `weights` (one per variable).
+  explicit CoveringIlp(std::vector<Value> weights);
+
+  /// Appends the constraint  Σ entries.coeff * x_var >= rhs.
+  /// Entries must reference distinct in-range variables with positive
+  /// coefficients; rhs must be positive (a rhs <= 0 constraint is vacuous).
+  void add_constraint(std::vector<Entry> entries, Value rhs);
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept {
+    return static_cast<std::uint32_t>(weights_.size());
+  }
+  [[nodiscard]] std::uint32_t num_constraints() const noexcept {
+    return static_cast<std::uint32_t>(rhs_.size());
+  }
+  [[nodiscard]] Value weight(std::uint32_t var) const { return weights_[var]; }
+  [[nodiscard]] std::span<const Value> weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] Value rhs(std::uint32_t row) const { return rhs_[row]; }
+  [[nodiscard]] std::span<const Entry> row(std::uint32_t i) const {
+    return {&entries_[row_offsets_[i]], row_offsets_[i + 1] - row_offsets_[i]};
+  }
+
+  /// f(A): maximum number of nonzeros in a row (variables per constraint).
+  [[nodiscard]] std::uint32_t row_support() const noexcept {
+    return max_row_support_;
+  }
+  /// Delta(A): maximum number of nonzeros in a column (constraints per
+  /// variable).
+  [[nodiscard]] std::uint32_t col_support() const noexcept {
+    return max_col_support_;
+  }
+
+  /// M(A, b) = max_j max_i { ceil(b_i / A_ij) : A_ij != 0 } (Definition 16;
+  /// the box of Proposition 17). At least 1 for any ILP with constraints.
+  [[nodiscard]] Value box_bound() const noexcept;
+
+  /// Σ_j w_j x_j. Requires x.size() == num_vars().
+  [[nodiscard]] Value objective(std::span<const Value> x) const;
+
+  /// True iff A x >= b with x >= 0 componentwise.
+  [[nodiscard]] bool feasible(std::span<const Value> x) const;
+
+  /// True iff every constraint is satisfiable within the box (i.e. the ILP
+  /// has any solution at all): Σ_j A_ij * M >= b_i.
+  [[nodiscard]] bool satisfiable() const noexcept;
+
+ private:
+  std::vector<Value> weights_;
+  std::vector<std::size_t> row_offsets_{0};
+  std::vector<Entry> entries_;
+  std::vector<Value> rhs_;
+  std::vector<std::uint32_t> col_counts_;
+  std::uint32_t max_row_support_ = 0;
+  std::uint32_t max_col_support_ = 0;
+};
+
+/// Exact optimum by bounded enumeration over the box [0, M]^n; exponential,
+/// guarded, tests only. Returns -1 if infeasible.
+[[nodiscard]] Value brute_force_ilp_opt(const CoveringIlp& ilp);
+
+}  // namespace hypercover::ilp

@@ -1,0 +1,103 @@
+#include "ilp/to_hypergraph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hypercover::ilp {
+
+namespace {
+
+/// FNV-1a over a sorted vertex list, for edge deduplication.
+struct VecHash {
+  std::size_t operator()(const std::vector<hg::VertexId>& v) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (const hg::VertexId x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> violated_clause_masks(std::span<const Entry> row,
+                                                 Value rhs) {
+  const auto k = static_cast<std::uint32_t>(row.size());
+  if (k > 31) {
+    throw std::invalid_argument("violated_clause_masks: row support > 31");
+  }
+  // DP over subsets: value[mask] = value[mask without lowest bit] + coeff.
+  std::vector<Value> subset_value(std::size_t{1} << k, 0);
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << k); ++mask) {
+    const int low = std::countr_zero(mask);
+    subset_value[mask] = subset_value[mask & (mask - 1)] + row[low].coeff;
+  }
+  const std::uint32_t full = (k == 32) ? ~0u : ((1u << k) - 1);
+  if (subset_value[full] < rhs) {
+    throw std::invalid_argument(
+        "violated_clause_masks: constraint unsatisfiable by all-ones");
+  }
+  std::vector<std::uint32_t> clauses;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << k); ++mask) {
+    if (subset_value[mask] >= rhs) continue;  // S feasible
+    // Maximality: adding any variable outside S must satisfy the row.
+    bool maximal = true;
+    for (std::uint32_t t = 0; t < k && maximal; ++t) {
+      if ((mask >> t) & 1) continue;
+      if (subset_value[mask] + row[t].coeff < rhs) maximal = false;
+    }
+    if (maximal) clauses.push_back(full & ~static_cast<std::uint32_t>(mask));
+  }
+  return clauses;
+}
+
+std::vector<Value> HypergraphReduction::assignment_from_cover(
+    const std::vector<bool>& in_cover) const {
+  if (in_cover.size() != graph.num_vertices()) {
+    throw std::invalid_argument("assignment_from_cover: size mismatch");
+  }
+  std::vector<Value> x(in_cover.size(), 0);
+  for (std::size_t j = 0; j < in_cover.size(); ++j) x[j] = in_cover[j] ? 1 : 0;
+  return x;
+}
+
+HypergraphReduction zero_one_to_hypergraph(const CoveringIlp& zo,
+                                           std::uint32_t max_support,
+                                           bool deduplicate) {
+  if (zo.row_support() > max_support) {
+    throw std::invalid_argument(
+        "zero_one_to_hypergraph: row support exceeds enumeration limit");
+  }
+
+  hg::Builder builder;
+  for (std::uint32_t j = 0; j < zo.num_vars(); ++j) {
+    builder.add_vertex(zo.weight(j));
+  }
+
+  HypergraphReduction red;
+  std::unordered_set<std::vector<hg::VertexId>, VecHash> seen;
+  std::vector<hg::VertexId> members;
+
+  for (std::uint32_t i = 0; i < zo.num_constraints(); ++i) {
+    const auto row = zo.row(i);
+    for (const std::uint32_t clause : violated_clause_masks(row, zo.rhs(i))) {
+      members.clear();
+      for (std::uint32_t t = 0; t < row.size(); ++t) {
+        if ((clause >> t) & 1) members.push_back(row[t].var);
+      }
+      // Members inherit the row's var-sorted order, so dedup keys match.
+      if (!deduplicate || seen.insert(members).second) {
+        builder.add_edge(std::span<const hg::VertexId>(members));
+      } else {
+        ++red.deduplicated_edges;
+      }
+    }
+  }
+  red.graph = builder.build();
+  return red;
+}
+
+}  // namespace hypercover::ilp

@@ -1,0 +1,56 @@
+#pragma once
+// Lemma 14: reduction of a feasible zero-one covering program to MWHVC.
+//
+// For constraint i with support σ_i, every *maximal* infeasible sub-
+// assignment S ⊂ σ_i (A_i · I_S < b_i but adding any further variable of
+// σ_i satisfies the constraint) yields the hyperedge e_{i,S} = σ_i \ S:
+// a cover must intersect it, which is exactly the clause of the monotone
+// CNF ψ_i in the lemma's proof. Restricting to maximal S keeps only the
+// minimal (non-redundant) clauses; any superset edge would be implied.
+//
+// Bounds (Lemma 14): rank f' < f(ZO) is immediate (S maximal infeasible
+// implies σ_i \ S is a strict... at worst the full support when b_i
+// exceeds every single coefficient sum), and Delta' < 2^{f(ZO)} ·
+// Delta(ZO) since a variable gains at most 2^{f-1} edges per constraint
+// it appears in. Both are re-checked by the tests.
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "ilp/ilp.hpp"
+
+namespace hypercover::ilp {
+
+struct HypergraphReduction {
+  /// Vertex j of the hypergraph is zero-one variable j (ids coincide);
+  /// weights are the ZO objective weights. Variables appearing in no
+  /// hyperedge are isolated vertices (never needed in a cover).
+  hg::Hypergraph graph;
+  /// Number of duplicate clauses merged away across constraints.
+  std::uint32_t deduplicated_edges = 0;
+
+  /// x_j = 1 iff vertex j is in the cover.
+  [[nodiscard]] std::vector<Value> assignment_from_cover(
+      const std::vector<bool>& in_cover) const;
+};
+
+/// Applies Lemma 14. Requires every variable weight to be positive, every
+/// constraint to be satisfiable by the all-ones assignment, and row
+/// support f(ZO) <= max_support (subset enumeration is 2^f per row).
+/// `deduplicate` merges identical clauses arising from different
+/// constraints (default); the Claim 15 network simulation keeps them
+/// distinct, so its equivalence tests build with deduplicate = false.
+[[nodiscard]] HypergraphReduction zero_one_to_hypergraph(
+    const CoveringIlp& zo, std::uint32_t max_support = 22,
+    bool deduplicate = true);
+
+/// The clause enumeration underlying Lemma 14, shared with the Claim 15
+/// simulation: for each *maximal* violated subset S of the row, the mask
+/// of member positions σ_i \ S (bit t set = row[t].var is in the clause).
+/// Masks are emitted in increasing S order, which fixes the clause
+/// numbering both implementations share. Requires row.size() <= 31 and
+/// the row satisfiable by all-ones.
+[[nodiscard]] std::vector<std::uint32_t> violated_clause_masks(
+    std::span<const Entry> row, Value rhs);
+
+}  // namespace hypercover::ilp

@@ -1,0 +1,57 @@
+#include "ilp/zero_one.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace hypercover::ilp {
+
+std::vector<Value> ZeroOneReduction::assemble(
+    const std::vector<bool>& zo_solution) const {
+  if (zo_solution.size() != program.num_vars()) {
+    throw std::invalid_argument("assemble: zero-one solution size mismatch");
+  }
+  std::vector<Value> x(var_base.size(), 0);
+  for (std::uint32_t j = 0; j < var_base.size(); ++j) {
+    for (std::uint32_t l = 0; l < bits_per_var; ++l) {
+      if (zo_solution[var_base[j] + l]) x[j] += Value{1} << l;
+    }
+  }
+  return x;
+}
+
+ZeroOneReduction to_zero_one(const CoveringIlp& ilp) {
+  if (!ilp.satisfiable()) {
+    throw std::invalid_argument("to_zero_one: ILP is unsatisfiable");
+  }
+  ZeroOneReduction red;
+  red.box = ilp.box_bound();
+  red.bits_per_var =
+      util::bit_width_or_one(static_cast<std::uint64_t>(red.box));
+  const std::uint32_t bits = red.bits_per_var;
+
+  std::vector<Value> weights;
+  weights.reserve(std::size_t{ilp.num_vars()} * bits);
+  red.var_base.resize(ilp.num_vars());
+  for (std::uint32_t j = 0; j < ilp.num_vars(); ++j) {
+    red.var_base[j] = static_cast<std::uint32_t>(weights.size());
+    for (std::uint32_t l = 0; l < bits; ++l) {
+      weights.push_back(ilp.weight(j) << l);
+    }
+  }
+  red.program = CoveringIlp(std::move(weights));
+
+  std::vector<Entry> row;
+  for (std::uint32_t i = 0; i < ilp.num_constraints(); ++i) {
+    row.clear();
+    for (const Entry& ent : ilp.row(i)) {
+      for (std::uint32_t l = 0; l < bits; ++l) {
+        row.push_back({red.var_base[ent.var] + l, ent.coeff << l});
+      }
+    }
+    red.program.add_constraint(row, ilp.rhs(i));
+  }
+  return red;
+}
+
+}  // namespace hypercover::ilp

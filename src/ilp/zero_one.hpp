@@ -1,0 +1,37 @@
+#pragma once
+// Claim 18: reduction of a general covering ILP to a zero-one covering
+// program by binary expansion inside the box of Proposition 17.
+//
+// Each variable x_j in [0, M] is replaced by B = bit_width(M) binary
+// variables x_{j,0..B-1} with x_j = Σ_l 2^l x_{j,l}; column j of A is
+// duplicated with coefficients scaled by 2^l, and likewise the weights.
+// (The paper writes B = ceil(log2 M), which under-represents exact powers
+// of two; bit_width(M) = floor(log2 M) + 1 covers the full box.)
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/ilp.hpp"
+
+namespace hypercover::ilp {
+
+struct ZeroOneReduction {
+  /// The zero-one program (semantically x in {0,1}; the type is shared).
+  CoveringIlp program;
+  /// Bits per original variable (B in Claim 18).
+  std::uint32_t bits_per_var = 0;
+  /// The box bound M the expansion covers.
+  Value box = 0;
+  /// zo var index = var_base[j] + l  for bit l of original variable j.
+  std::vector<std::uint32_t> var_base;
+
+  /// Assembles an original-ILP solution from a zero-one assignment.
+  [[nodiscard]] std::vector<Value> assemble(
+      const std::vector<bool>& zo_solution) const;
+};
+
+/// Applies Claim 18. Requires the ILP to be satisfiable.
+/// f(ZO) <= f(A) * B and Delta(ZO) = Delta(A), matching the claim.
+[[nodiscard]] ZeroOneReduction to_zero_one(const CoveringIlp& ilp);
+
+}  // namespace hypercover::ilp

@@ -1,0 +1,115 @@
+#include "setcover/setcover.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "verify/verify.hpp"
+
+namespace hypercover::sc {
+
+SetSystem::SetSystem(std::uint32_t num_elements)
+    : num_elements_(num_elements) {}
+
+SetId SetSystem::add_set(hg::Weight weight,
+                         std::span<const ElementId> elements) {
+  if (weight <= 0) {
+    throw std::invalid_argument("SetSystem: weight must be positive");
+  }
+  std::vector<ElementId> sorted(elements.begin(), elements.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= num_elements_) {
+      throw std::invalid_argument("SetSystem: element out of range");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      throw std::invalid_argument("SetSystem: duplicate element in set");
+    }
+  }
+  weights_.push_back(weight);
+  sets_.push_back(std::move(sorted));
+  return static_cast<SetId>(weights_.size() - 1);
+}
+
+SetId SetSystem::add_set(hg::Weight weight,
+                         std::initializer_list<ElementId> elements) {
+  return add_set(weight,
+                 std::span<const ElementId>(elements.begin(), elements.size()));
+}
+
+std::uint32_t SetSystem::frequency(ElementId x) const {
+  if (x >= num_elements_) {
+    throw std::invalid_argument("SetSystem: element out of range");
+  }
+  std::uint32_t freq = 0;
+  for (const auto& s : sets_) {
+    freq += std::binary_search(s.begin(), s.end(), x) ? 1 : 0;
+  }
+  return freq;
+}
+
+std::uint32_t SetSystem::max_frequency() const {
+  std::vector<std::uint32_t> freq(num_elements_, 0);
+  for (const auto& s : sets_) {
+    for (const ElementId x : s) ++freq[x];
+  }
+  return freq.empty() ? 0 : *std::max_element(freq.begin(), freq.end());
+}
+
+std::vector<ElementId> SetSystem::uncoverable_elements() const {
+  std::vector<bool> seen(num_elements_, false);
+  for (const auto& s : sets_) {
+    for (const ElementId x : s) seen[x] = true;
+  }
+  std::vector<ElementId> missing;
+  for (ElementId x = 0; x < num_elements_; ++x) {
+    if (!seen[x]) missing.push_back(x);
+  }
+  return missing;
+}
+
+hg::Hypergraph SetSystem::to_hypergraph() const {
+  const auto missing = uncoverable_elements();
+  if (!missing.empty()) {
+    throw std::invalid_argument("SetSystem: element " +
+                                std::to_string(missing.front()) +
+                                " is in no set; the instance is unsolvable");
+  }
+  hg::Builder b;
+  for (const hg::Weight w : weights_) b.add_vertex(w);
+  // Hyperedge e_x = the sets containing x, built by one incidence pass.
+  std::vector<std::vector<hg::VertexId>> edges(num_elements_);
+  for (SetId s = 0; s < num_sets(); ++s) {
+    for (const ElementId x : sets_[s]) edges[x].push_back(s);
+  }
+  for (ElementId x = 0; x < num_elements_; ++x) {
+    b.add_edge(std::span<const hg::VertexId>(edges[x]));
+  }
+  return b.build();
+}
+
+SetCoverResult solve_set_cover(const SetSystem& system,
+                               const SetCoverOptions& opts) {
+  const hg::Hypergraph g = system.to_hypergraph();
+
+  core::MwhvcOptions inner = opts.mwhvc;
+  inner.eps = opts.eps;
+  SetCoverResult res;
+  res.mwhvc = core::solve_mwhvc(g, inner);
+  res.frequency = g.rank();
+  res.selected = res.mwhvc.in_cover;
+  for (SetId s = 0; s < system.num_sets(); ++s) {
+    if (res.selected[s]) {
+      res.selected_ids.push_back(s);
+      res.total_weight += system.weight(s);
+    }
+  }
+  const auto cert = verify::certify(g, res.mwhvc.in_cover, res.mwhvc.duals);
+  if (!cert.valid()) {
+    throw std::logic_error("solve_set_cover: solver output failed "
+                           "verification: " + cert.error);
+  }
+  res.certified_ratio = cert.certified_ratio;
+  return res;
+}
+
+}  // namespace hypercover::sc

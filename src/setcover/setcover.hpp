@@ -1,0 +1,91 @@
+#pragma once
+// First-class Weighted Set Cover interface (§2): the problem the paper's
+// MWHVC algorithm is "equivalent" to, exposed in set-system vocabulary.
+//
+// A SetSystem holds a universe X = {0, ..., num_elements-1} and weighted
+// subsets; solve_set_cover() applies the paper's reduction (vertex u_i per
+// subset U_i, hyperedge e_x = {u_i : x in U_i} per element x) and runs the
+// distributed algorithm, returning the answer in set-system terms together
+// with the dual certificate. The guarantee is (f + eps) where f is the
+// maximum element frequency.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mwhvc.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::sc {
+
+using ElementId = std::uint32_t;
+using SetId = std::uint32_t;
+
+class SetSystem {
+ public:
+  /// Creates a system over `num_elements` universe elements.
+  explicit SetSystem(std::uint32_t num_elements);
+
+  /// Adds a subset with a positive weight; elements may be listed in any
+  /// order and must be in range and distinct. Returns the set's id.
+  SetId add_set(hg::Weight weight, std::span<const ElementId> elements);
+  SetId add_set(hg::Weight weight, std::initializer_list<ElementId> elements);
+
+  [[nodiscard]] std::uint32_t num_elements() const noexcept {
+    return num_elements_;
+  }
+  [[nodiscard]] std::uint32_t num_sets() const noexcept {
+    return static_cast<std::uint32_t>(weights_.size());
+  }
+  [[nodiscard]] hg::Weight weight(SetId s) const { return weights_[s]; }
+  [[nodiscard]] std::span<const ElementId> elements_of(SetId s) const {
+    return sets_[s];
+  }
+
+  /// Frequency of an element = number of sets containing it (the f of
+  /// the guarantee is the maximum over the universe).
+  [[nodiscard]] std::uint32_t frequency(ElementId x) const;
+  [[nodiscard]] std::uint32_t max_frequency() const;
+
+  /// Elements contained in no set (the instance is unsolvable unless
+  /// empty).
+  [[nodiscard]] std::vector<ElementId> uncoverable_elements() const;
+
+  /// The paper's §2 reduction: one hypergraph vertex per set, one
+  /// hyperedge per element. Throws std::invalid_argument if some element
+  /// is uncoverable.
+  [[nodiscard]] hg::Hypergraph to_hypergraph() const;
+
+ private:
+  std::uint32_t num_elements_;
+  std::vector<hg::Weight> weights_;
+  std::vector<std::vector<ElementId>> sets_;
+};
+
+struct SetCoverOptions {
+  double eps = 0.5;
+  /// Forwarded to the solver (its eps is overridden by the field above).
+  core::MwhvcOptions mwhvc;
+};
+
+struct SetCoverResult {
+  /// selected[s] — the chosen sub-collection.
+  std::vector<bool> selected;
+  std::vector<SetId> selected_ids;
+  hg::Weight total_weight = 0;
+  /// Guarantee parameter: max element frequency of the system.
+  std::uint32_t frequency = 0;
+  /// Certified approximation factor w / Σδ (<= frequency + eps).
+  double certified_ratio = 0;
+  /// The underlying distributed execution (rounds, messages, duals...).
+  core::MwhvcResult mwhvc;
+};
+
+/// Solves the system with the paper's algorithm; the returned selection is
+/// verified to cover every element (throws std::logic_error otherwise —
+/// that would be a solver bug, not an input error).
+[[nodiscard]] SetCoverResult solve_set_cover(const SetSystem& system,
+                                             const SetCoverOptions& opts = {});
+
+}  // namespace hypercover::sc

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line parsing for the example binaries:
+// `--key=value` and `--flag` forms only, with typed lookups and defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hypercover::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get(const std::string& key,
+                                 std::int64_t fallback) const;
+  [[nodiscard]] std::int64_t get(const std::string& key, int fallback) const {
+    return get(key, static_cast<std::int64_t>(fallback));
+  }
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hypercover::util

@@ -1,0 +1,56 @@
+#pragma once
+// Small integer/real math helpers shared across modules.
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace hypercover::util {
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) noexcept {
+  assert(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
+  assert(x >= 1);
+  return x == 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Number of bits needed to represent x (>= 1 even for x == 0, since a
+/// message carrying the value 0 still occupies one bit).
+[[nodiscard]] constexpr int bit_width_or_one(std::uint64_t x) noexcept {
+  return x == 0 ? 1 : 64 - std::countl_zero(x);
+}
+
+/// Integer power with overflow assertion (debug builds).
+[[nodiscard]] constexpr std::uint64_t ipow(std::uint64_t base,
+                                           unsigned exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp-- > 0) {
+    assert(base == 0 || r <= UINT64_MAX / (base == 0 ? 1 : base));
+    r *= base;
+  }
+  return r;
+}
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+[[nodiscard]] inline bool approx_equal(double a, double b,
+                                       double tol = 1e-9) noexcept {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// x / log(x) guard used by the alpha-selection rule: natural to call with
+/// small degrees, where log log would be <= 0. Callers must have ensured
+/// x >= 3 per the paper's assumption (iii); we clamp defensively.
+[[nodiscard]] inline double log_log_clamped(double x) noexcept {
+  const double l = std::log2(std::max(x, 4.0));
+  return std::max(std::log2(l), 1.0);
+}
+
+}  // namespace hypercover::util

@@ -1,0 +1,35 @@
+#include "util/prng.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace hypercover::util {
+
+std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k,
+                                           Xoshiro256StarStar& rng) {
+  assert(k <= n);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Dense case: partial Fisher–Yates over an explicit index vector.
+  if (k > n / 4) {
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(rng.below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(rng.below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hypercover::util

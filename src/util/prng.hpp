@@ -1,0 +1,117 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (instance generators, weight
+// models, test sweeps) draw from Xoshiro256StarStar seeded through
+// SplitMix64, so a (generator, seed) pair fully determines an instance.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hypercover::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into a full
+/// xoshiro256** state. Also a fine standalone mixer for hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library-wide PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform draw from [0, bound) via Lemire's method.
+  /// Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    using u128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    u128 m = static_cast<u128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<u128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform draw from the inclusive range [lo, hi]. Requires lo <= hi.
+  std::int64_t in_range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform real in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Fisher–Yates shuffle with the library PRNG (std::shuffle's
+/// implementation is not pinned across standard libraries; this is).
+template <class T>
+void shuffle(std::span<T> items, Xoshiro256StarStar& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Sample `k` distinct values from [0, n) in selection order.
+/// Requires k <= n. O(k) expected time for k << n, O(n) worst case.
+std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k,
+                                           Xoshiro256StarStar& rng);
+
+}  // namespace hypercover::util

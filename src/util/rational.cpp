@@ -1,0 +1,147 @@
+#include "util/rational.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace hypercover::util {
+
+namespace {
+
+constexpr __int128 kAbsLimit = static_cast<__int128>(1) << 126;
+
+__int128 iabs(__int128 v) noexcept { return v < 0 ? -v : v; }
+
+std::string int128_to_string(__int128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  unsigned __int128 u = neg ? static_cast<unsigned __int128>(-(v + 1)) + 1
+                            : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (u > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace
+
+Rational::Rational(Int num, Int den) : num_(num), den_(den) {
+  if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+  normalize();
+}
+
+Rational::Int Rational::gcd(Int a, Int b) noexcept {
+  a = iabs(a);
+  b = iabs(b);
+  while (b != 0) {
+    const Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rational::Int Rational::checked_mul(Int a, Int b) {
+  if (a == 0 || b == 0) return 0;
+  // Pre-check with division: signed overflow would be undefined behaviour.
+  if (iabs(a) > kAbsLimit / iabs(b)) {
+    throw std::overflow_error("Rational: multiplication overflow");
+  }
+  return a * b;
+}
+
+Rational::Int Rational::checked_add(Int a, Int b) {
+  if ((b > 0 && a > kAbsLimit - b) || (b < 0 && a < -kAbsLimit - b)) {
+    throw std::overflow_error("Rational: addition overflow");
+  }
+  return a + b;
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const Int g = gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Reduce by gcd of denominators first to delay overflow.
+  const Int g = gcd(den_, o.den_);
+  const Int lhs = checked_mul(num_, o.den_ / g);
+  const Int rhs = checked_mul(o.num_, den_ / g);
+  return Rational(checked_add(lhs, rhs), checked_mul(den_ / g, o.den_));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator-() const noexcept {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-cancel before multiplying.
+  const Int g1 = gcd(num_, o.den_);
+  const Int g2 = gcd(o.num_, den_);
+  return Rational(checked_mul(num_ / g1, o.num_ / g2),
+                  checked_mul(den_ / g2, o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  // Compare num_/den_ vs o.num_/o.den_ by cross multiplication with
+  // gcd-reduced factors (denominators are positive after normalization).
+  const Int g = gcd(den_, o.den_);
+  const Int lhs = checked_mul(num_, o.den_ / g);
+  const Int rhs = checked_mul(o.num_, den_ / g);
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::scaled_down_pow2(int k) const {
+  if (k < 0) throw std::invalid_argument("scaled_down_pow2: negative k");
+  Rational r = *this;
+  while (k > 0) {
+    const int step = k > 60 ? 60 : k;
+    r = r / Rational(static_cast<Int>(1) << step, 1);
+    k -= step;
+  }
+  return r;
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  std::string s = int128_to_string(num_);
+  if (den_ != 1) {
+    s += '/';
+    s += int128_to_string(den_);
+  }
+  return s;
+}
+
+Rational one_minus_pow2(int k) {
+  if (k < 0 || k > 120) throw std::invalid_argument("one_minus_pow2: bad k");
+  const Rational::Int pow = static_cast<Rational::Int>(1) << k;
+  return Rational(pow - 1, pow);
+}
+
+}  // namespace hypercover::util

@@ -1,0 +1,73 @@
+#pragma once
+// Exact rational arithmetic on 128-bit integers.
+//
+// The production MWHVC engine stores dual variables and bids as doubles
+// (DESIGN.md §2, "Numeric-representation decision"). This class exists so
+// tests can re-run the algorithm's arithmetic exactly on small instances and
+// assert that the double engine made identical raise/stuck/level decisions,
+// and so the dual-feasibility invariants (Claim 2) can be checked with zero
+// tolerance where it matters.
+//
+// Values are kept normalized (gcd = 1, denominator > 0). Overflow of the
+// 128-bit intermediate space throws std::overflow_error rather than
+// producing silent wraparound — tests run on instances small enough that
+// this never fires.
+
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hypercover::util {
+
+class Rational {
+ public:
+  using Int = __int128;
+
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs num/den, normalizing sign and gcd. Requires den != 0.
+  Rational(Int num, Int den);
+
+  [[nodiscard]] constexpr Int num() const noexcept { return num_; }
+  [[nodiscard]] constexpr Int den() const noexcept { return den_; }
+
+  [[nodiscard]] Rational operator+(const Rational& o) const;
+  [[nodiscard]] Rational operator-(const Rational& o) const;
+  [[nodiscard]] Rational operator*(const Rational& o) const;
+  [[nodiscard]] Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+  [[nodiscard]] Rational operator-() const noexcept;
+
+  std::strong_ordering operator<=>(const Rational& o) const;
+  bool operator==(const Rational& o) const noexcept {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+
+  /// Exact halving (multiply by 1/2), the paper's step 3(d)ii.
+  [[nodiscard]] Rational halved() const { return *this / Rational(2); }
+
+  /// this * 2^-k for k >= 0.
+  [[nodiscard]] Rational scaled_down_pow2(int k) const;
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static Int checked_mul(Int a, Int b);
+  static Int checked_add(Int a, Int b);
+  static Int gcd(Int a, Int b) noexcept;
+  void normalize();
+
+  Int num_;
+  Int den_;
+};
+
+/// 1 - 2^-k as an exact rational (the level thresholds w(v)(1 - 0.5^l)).
+[[nodiscard]] Rational one_minus_pow2(int k);
+
+}  // namespace hypercover::util

@@ -1,0 +1,37 @@
+#pragma once
+// Aligned ASCII table writer used by benches and examples to print
+// paper-style result tables.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hypercover::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  /// Fixed-precision double cell.
+  Table& add(double value, int precision = 3);
+
+  /// Renders the table with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hypercover::util

@@ -1,0 +1,55 @@
+#pragma once
+// Solution verification: nothing reported by a bench or asserted by a test
+// is trusted to the solver — covers, dual packings, and approximation
+// certificates are re-checked from the raw instance here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::verify {
+
+/// True iff every hyperedge contains at least one cover vertex.
+[[nodiscard]] bool is_cover(const hg::Hypergraph& g,
+                            const std::vector<bool>& in_cover);
+
+/// Returns the ids of uncovered edges (empty for a valid cover).
+[[nodiscard]] std::vector<hg::EdgeId> uncovered_edges(
+    const hg::Hypergraph& g, const std::vector<bool>& in_cover);
+
+/// Checks the edge-packing constraints of the dual LP (Appendix A):
+///   Σ_{e ∋ v} δ(e) <= w(v) (1 + tol)  and  δ(e) >= -tol  everywhere.
+[[nodiscard]] bool is_feasible_packing(const hg::Hypergraph& g,
+                                       const std::vector<double>& duals,
+                                       double tol = 1e-9);
+
+/// Approximation certificate from weak duality (Claim 20): any feasible
+/// packing satisfies Σδ <= OPT_LP <= OPT, so
+///   w(C) / Σδ  is a *certified* upper bound on w(C) / OPT.
+struct Certificate {
+  bool cover_valid = false;
+  bool packing_feasible = false;
+  hg::Weight cover_weight = 0;
+  double dual_total = 0;
+  /// w(C) / Σδ; +inf when Σδ = 0 with a non-empty cover.
+  double certified_ratio = 0;
+  /// Human-readable failure reason (empty when valid).
+  std::string error;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return cover_valid && packing_feasible;
+  }
+};
+
+[[nodiscard]] Certificate certify(const hg::Hypergraph& g,
+                                  const std::vector<bool>& in_cover,
+                                  const std::vector<double>& duals,
+                                  double tol = 1e-9);
+
+/// exhaustive-search optimum over vertex subsets; exponential — guard
+/// n <= 30 and intended for tests only. Returns the optimal cover weight.
+[[nodiscard]] hg::Weight brute_force_opt(const hg::Hypergraph& g);
+
+}  // namespace hypercover::verify

@@ -1,0 +1,198 @@
+// Tests for the baseline algorithms: validity, dual certificates, the
+// (f + eps) guarantee, the expected complexity signatures (KMW grows with
+// log W, Algorithm MWHVC does not), and the sequential references.
+
+#include <gtest/gtest.h>
+
+#include "baselines/kmw.hpp"
+#include "baselines/kvy.hpp"
+#include "baselines/sequential.hpp"
+#include "core/mwhvc.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::baselines {
+namespace {
+
+void expect_valid_baseline(const hg::Hypergraph& g, const BaselineResult& res,
+                           double eps, const char* what) {
+  ASSERT_TRUE(res.net.completed) << what << ": did not terminate";
+  const auto cert = verify::certify(g, res.in_cover, res.duals);
+  EXPECT_TRUE(cert.cover_valid) << what << ": " << cert.error;
+  EXPECT_TRUE(cert.packing_feasible) << what << ": " << cert.error;
+  const double f = std::max<double>(g.rank(), 1);
+  if (cert.dual_total > 0) {
+    EXPECT_LE(cert.certified_ratio, f + eps + 1e-6) << what;
+  }
+}
+
+struct Family {
+  std::uint32_t n, m, f;
+  std::uint64_t seed;
+};
+
+class BaselineSweep : public ::testing::TestWithParam<Family> {};
+
+TEST_P(BaselineSweep, KmwValidWithCertificate) {
+  const auto p = GetParam();
+  const auto g =
+      hg::random_uniform(p.n, p.m, p.f, hg::uniform_weights(100), p.seed);
+  KmwOptions o;
+  o.eps = 0.5;
+  const auto res = solve_kmw(g, o);
+  expect_valid_baseline(g, res, 0.5, "kmw");
+}
+
+TEST_P(BaselineSweep, KvyValidWithCertificate) {
+  const auto p = GetParam();
+  const auto g =
+      hg::random_uniform(p.n, p.m, p.f, hg::uniform_weights(100), p.seed);
+  KvyOptions o;
+  o.eps = 0.5;
+  const auto res = solve_kvy(g, o);
+  expect_valid_baseline(g, res, 0.5, "kvy");
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BaselineSweep,
+                         ::testing::Values(Family{20, 40, 2, 1},
+                                           Family{40, 100, 3, 2},
+                                           Family{60, 150, 4, 3},
+                                           Family{100, 250, 2, 4},
+                                           Family{80, 160, 5, 5}));
+
+TEST(Kmw, SmallEpsStillValid) {
+  const auto g = hg::random_uniform(30, 60, 2, hg::uniform_weights(20), 7);
+  KmwOptions o;
+  o.eps = 0.05;
+  const auto res = solve_kmw(g, o);
+  expect_valid_baseline(g, res, 0.05, "kmw small eps");
+}
+
+TEST(Kmw, EmptyGraph) {
+  hg::Builder b;
+  b.add_vertices(3, 1);
+  const auto res = solve_kmw(b.build());
+  EXPECT_TRUE(res.net.completed);
+  EXPECT_EQ(res.cover_weight, 0);
+}
+
+TEST(Kmw, RoundsGrowWithWeightRatio) {
+  // The defining weakness of the uniform-increase mechanism: rounds scale
+  // with log W. Same topology, growing weight spread.
+  const auto rounds_for = [](int log2_w) {
+    const auto g = hg::hyper_star(64, 2, hg::exponential_weights(log2_w), 5);
+    KmwOptions o;
+    o.eps = 0.5;
+    return solve_kmw(g, o).net.rounds;
+  };
+  const auto r0 = rounds_for(0);
+  const auto r20 = rounds_for(20);
+  const auto r40 = rounds_for(40);
+  EXPECT_GT(r20, r0 + 10);
+  EXPECT_GT(r40, r20 + 10);
+}
+
+TEST(Mwhvc, RoundsFlatWhereKmwGrows) {
+  // Companion to the test above: same W sweep, our algorithm stays flat.
+  const auto rounds_for = [](int log2_w) {
+    const auto g = hg::hyper_star(64, 2, hg::exponential_weights(log2_w), 5);
+    core::MwhvcOptions o;
+    o.eps = 0.5;
+    return core::solve_mwhvc(g, o).net.rounds;
+  };
+  const auto r0 = rounds_for(0);
+  const auto r40 = rounds_for(40);
+  EXPECT_LE(r40, r0 + 12) << "rounds must not scale with log W";
+}
+
+TEST(Kvy, EmptyGraph) {
+  hg::Builder b;
+  b.add_vertices(2, 1);
+  const auto res = solve_kvy(b.build());
+  EXPECT_TRUE(res.net.completed);
+  EXPECT_EQ(res.cover_weight, 0);
+}
+
+TEST(Kvy, SaturatesQuicklyOnStars) {
+  // The proportional rule saturates the hub in O(1) iterations when the
+  // hub is the cheapest normalized vertex.
+  hg::Builder b;
+  b.add_vertex(1);
+  for (int i = 0; i < 50; ++i) b.add_vertex(1000);
+  for (hg::VertexId leaf = 1; leaf <= 50; ++leaf) b.add_edge({0u, leaf});
+  const auto g = b.build();
+  const auto res = solve_kvy(g);
+  expect_valid_baseline(g, res, 0.5, "kvy star");
+  EXPECT_TRUE(res.in_cover[0]);
+  EXPECT_LT(res.net.rounds, 20u);
+}
+
+TEST(Baselines, BothRejectBadEps) {
+  const auto g = hg::cycle(4, hg::unit_weights(), 0);
+  KmwOptions k;
+  k.eps = 0;
+  EXPECT_THROW((void)solve_kmw(g, k), std::invalid_argument);
+  KvyOptions v;
+  v.eps = 1.0001;
+  EXPECT_THROW((void)solve_kvy(g, v), std::invalid_argument);
+}
+
+TEST(Greedy, ProducesValidCovers) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const auto g = hg::random_uniform(40, 90, 3, hg::uniform_weights(9), seed);
+    EXPECT_TRUE(verify::is_cover(g, greedy_cover(g)));
+  }
+}
+
+TEST(Greedy, OptimalOnEasyStar) {
+  const auto g = hg::hyper_star(16, 2, hg::unit_weights(), 0);
+  const auto cover = greedy_cover(g);
+  EXPECT_TRUE(cover[0]);
+  EXPECT_EQ(g.weight_of(cover), 1);
+}
+
+TEST(LocalRatio, ValidAndFApproximate) {
+  for (const std::uint64_t seed : {4, 5, 6}) {
+    const auto g = hg::random_uniform(14, 24, 3, hg::uniform_weights(9), seed);
+    const auto res = local_ratio_cover(g);
+    EXPECT_TRUE(verify::is_cover(g, res.in_cover));
+    EXPECT_TRUE(verify::is_feasible_packing(g, res.duals));
+    const auto opt = verify::brute_force_opt(g);
+    EXPECT_LE(res.cover_weight, static_cast<hg::Weight>(g.rank()) * opt);
+    // Local-ratio duals certify: w(C) <= f * dual_total <= f * OPT.
+    EXPECT_LE(static_cast<double>(res.cover_weight),
+              g.rank() * res.dual_total + 1e-9);
+  }
+}
+
+TEST(LocalRatio, EmptyAndIsolated) {
+  hg::Builder b;
+  b.add_vertices(3, 2);
+  b.add_edge({0, 1});
+  const auto res = local_ratio_cover(b.build());
+  EXPECT_FALSE(res.in_cover[2]);  // isolated vertex never enters the cover
+  EXPECT_TRUE(res.in_cover[0] || res.in_cover[1]);
+}
+
+TEST(Baselines, AllAlgorithmsAgreeWithinGuarantees) {
+  // Cross-check: on the same instance, every algorithm's cover is within
+  // its guarantee of the exact optimum.
+  const auto g = hg::random_uniform(16, 30, 2, hg::uniform_weights(7), 12);
+  const auto opt = verify::brute_force_opt(g);
+  const double f = g.rank();
+
+  core::MwhvcOptions mo;
+  mo.eps = 0.5;
+  EXPECT_LE(core::solve_mwhvc(g, mo).cover_weight, (f + 0.5) * opt + 1e-9);
+  KmwOptions ko;
+  ko.eps = 0.5;
+  EXPECT_LE(solve_kmw(g, ko).cover_weight, (f + 0.5) * opt + 1e-9);
+  KvyOptions vo;
+  vo.eps = 0.5;
+  EXPECT_LE(solve_kvy(g, vo).cover_weight, (f + 0.5) * opt + 1e-9);
+  EXPECT_LE(local_ratio_cover(g).cover_weight, f * opt);
+}
+
+}  // namespace
+}  // namespace hypercover::baselines

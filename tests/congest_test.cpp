@@ -1,0 +1,226 @@
+// Tests for the CONGEST engine: synchronous delivery timing, per-link
+// mailboxes, halting semantics, bit accounting, bandwidth checking, and
+// schedule determinism — exercised through small purpose-built protocols.
+
+#include <gtest/gtest.h>
+
+#include "congest/engine.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+
+namespace hypercover::congest {
+namespace {
+
+// --- Echo protocol: vertices send their id, edges sum and reply, vertices
+// record the reply and halt. Verifies delivery, timing and content.
+
+struct IdMsg {
+  std::uint64_t value = 0;
+  [[nodiscard]] std::uint32_t bit_size() const {
+    return util::bit_width_or_one(value);
+  }
+};
+
+struct EchoVertex {
+  std::uint64_t received = 0;
+  int steps = 0;
+  bool done = false;
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    ++steps;
+    if (ctx.round() == 0) {
+      if (ctx.degree() == 0) {
+        done = true;
+        return;
+      }
+      ctx.broadcast(IdMsg{ctx.id() + 1});
+      return;
+    }
+    if (ctx.round() == 2) {
+      for (std::uint32_t k = 0; k < ctx.degree(); ++k) {
+        const IdMsg* m = ctx.message_from(k);
+        ASSERT_NE(m, nullptr);
+        received += m->value;
+      }
+      done = true;
+    }
+  }
+  [[nodiscard]] bool halted() const { return done; }
+};
+
+struct EchoEdge {
+  std::uint64_t sum = 0;
+  bool done = false;
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    if (ctx.round() == 0) {
+      // Messages sent in round 0 must NOT be visible yet.
+      for (std::uint32_t j = 0; j < ctx.size(); ++j) {
+        ASSERT_EQ(ctx.message_from(j), nullptr);
+      }
+      return;
+    }
+    if (ctx.round() == 1) {
+      for (std::uint32_t j = 0; j < ctx.size(); ++j) {
+        const IdMsg* m = ctx.message_from(j);
+        ASSERT_NE(m, nullptr);
+        sum += m->value;
+      }
+      ctx.broadcast(IdMsg{sum});
+      done = true;
+    }
+  }
+  [[nodiscard]] bool halted() const { return done; }
+};
+
+struct EchoProtocol {
+  using VertexMsg = IdMsg;
+  using EdgeMsg = IdMsg;
+  using VertexAgent = EchoVertex;
+  using EdgeAgent = EchoEdge;
+};
+
+TEST(Engine, DeliversOneRoundLater) {
+  // Triangle: vertices 0,1,2; edges {0,1},{1,2},{0,2}.
+  hg::Builder b;
+  b.add_vertices(3, 1);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  b.add_edge({0, 2});
+  const auto g = b.build();
+
+  Engine<EchoProtocol> eng(g);
+  const RunStats stats = eng.run();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.rounds, 3u);  // send, reply, fold
+  // Edge {0,1} sums ids+1 = 1+2 = 3; edge {1,2}: 2+3=5; edge {0,2}: 1+3=4.
+  EXPECT_EQ(eng.edge_agent(0).sum, 3u);
+  EXPECT_EQ(eng.edge_agent(1).sum, 5u);
+  EXPECT_EQ(eng.edge_agent(2).sum, 4u);
+  // Vertex 0 hears from edges 0 and 2: 3 + 4.
+  EXPECT_EQ(eng.vertex_agent(0).received, 7u);
+  EXPECT_EQ(eng.vertex_agent(1).received, 8u);
+  EXPECT_EQ(eng.vertex_agent(2).received, 9u);
+}
+
+TEST(Engine, MessageAndBitAccounting) {
+  hg::Builder b;
+  b.add_vertices(2, 1);
+  b.add_edge({0, 1});
+  const auto g = b.build();
+  Engine<EchoProtocol> eng(g);
+  const RunStats stats = eng.run();
+  // Round 0: 2 vertex->edge messages; round 1: 2 edge->vertex messages.
+  EXPECT_EQ(stats.total_messages, 4u);
+  EXPECT_GT(stats.total_bits, 0u);
+  EXPECT_LE(stats.max_message_bits, stats.bandwidth_limit_bits);
+  EXPECT_EQ(stats.bandwidth_violations, 0u);
+}
+
+TEST(Engine, PerRoundStatsWhenRequested) {
+  hg::Builder b;
+  b.add_vertices(2, 1);
+  b.add_edge({0, 1});
+  const auto g = b.build();
+  Options opt;
+  opt.keep_round_stats = true;
+  Engine<EchoProtocol> eng(g, opt);
+  const RunStats stats = eng.run();
+  ASSERT_EQ(stats.per_round.size(), stats.rounds);
+  EXPECT_EQ(stats.per_round[0].messages, 2u);
+  EXPECT_EQ(stats.per_round[1].messages, 2u);
+  EXPECT_EQ(stats.per_round[2].messages, 0u);
+}
+
+// --- Bandwidth-violation protocol: a single huge message must be flagged.
+
+struct FatMsg {
+  std::uint64_t dummy = 0;
+  [[nodiscard]] std::uint32_t bit_size() const { return 100000; }
+};
+
+struct FatVertex {
+  bool done = false;
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    if (ctx.round() == 0 && ctx.degree() > 0) ctx.send(0, FatMsg{});
+    done = true;
+  }
+  [[nodiscard]] bool halted() const { return done; }
+};
+
+struct QuietEdge {
+  template <class Ctx>
+  void step(Ctx&) {}
+  [[nodiscard]] bool halted() const { return true; }
+};
+
+struct FatProtocol {
+  using VertexMsg = FatMsg;
+  using EdgeMsg = FatMsg;
+  using VertexAgent = FatVertex;
+  using EdgeAgent = QuietEdge;
+};
+
+TEST(Engine, FlagsBandwidthViolations) {
+  hg::Builder b;
+  b.add_vertices(2, 1);
+  b.add_edge({0, 1});
+  const auto g = b.build();
+  Engine<FatProtocol> eng(g);
+  const RunStats stats = eng.run();
+  // Both endpoints of the edge send one oversized message.
+  EXPECT_EQ(stats.bandwidth_violations, 2u);
+  EXPECT_EQ(stats.max_message_bits, 100000u);
+}
+
+// --- Never-halting protocol: the round limit must stop the run.
+
+struct Spinner {
+  template <class Ctx>
+  void step(Ctx&) {}
+  [[nodiscard]] bool halted() const { return false; }
+};
+
+struct SpinProtocol {
+  using VertexMsg = IdMsg;
+  using EdgeMsg = IdMsg;
+  using VertexAgent = Spinner;
+  using EdgeAgent = Spinner;
+};
+
+TEST(Engine, RoundLimitTerminatesRun) {
+  hg::Builder b;
+  b.add_vertices(2, 1);
+  b.add_edge({0, 1});
+  const auto g = b.build();
+  Options opt;
+  opt.max_rounds = 10;
+  Engine<SpinProtocol> eng(g, opt);
+  const RunStats stats = eng.run();
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.rounds, 10u);
+}
+
+TEST(Engine, TranscriptHashIsDeterministic) {
+  const auto g =
+      hg::random_uniform(40, 80, 3, hg::uniform_weights(9), 2024);
+  Engine<EchoProtocol> a(g), b(g);
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.transcript_hash, sb.transcript_hash);
+  EXPECT_EQ(sa.total_messages, sb.total_messages);
+}
+
+TEST(Engine, EmptyGraphCompletesImmediately) {
+  hg::Builder b;
+  b.add_vertices(3, 1);  // no edges: echo vertices still broadcast nothing
+  const auto g = b.build();
+  Engine<EchoProtocol> eng(g);
+  const RunStats stats = eng.run();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.total_messages, 0u);
+}
+
+}  // namespace
+}  // namespace hypercover::congest

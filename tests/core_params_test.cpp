@@ -1,0 +1,95 @@
+// Tests for §3.1 / Theorem 9 parameter selection: beta, the level cap z,
+// the alpha rule, and the Theorem 8 iteration budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/params.hpp"
+
+namespace hypercover::core {
+namespace {
+
+TEST(Params, BetaFormula) {
+  EXPECT_DOUBLE_EQ(beta_for(2, 1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(beta_for(2, 0.5), 0.5 / 2.5);
+  EXPECT_DOUBLE_EQ(beta_for(1, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(beta_for(5, 0.25), 0.25 / 5.25);
+}
+
+TEST(Params, BetaValidation) {
+  EXPECT_THROW(beta_for(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(beta_for(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(beta_for(2, 1.5), std::invalid_argument);
+  EXPECT_THROW(beta_for(2, -0.1), std::invalid_argument);
+}
+
+TEST(Params, LevelCapMatchesCeilLog) {
+  // z = ceil(log2(1/beta)) = ceil(log2((f+eps)/eps)).
+  EXPECT_EQ(level_cap(1, 1.0), 1u);   // 1/beta = 2
+  EXPECT_EQ(level_cap(2, 1.0), 2u);   // 1/beta = 3
+  EXPECT_EQ(level_cap(2, 0.5), 3u);   // 1/beta = 5
+  EXPECT_EQ(level_cap(3, 0.1), 5u);   // 1/beta = 31
+  EXPECT_EQ(level_cap(2, 0.001), 11u);
+}
+
+TEST(Params, LevelCapGrowsLogarithmicallyInInverseEps) {
+  const std::uint32_t z1 = level_cap(2, 0.1);
+  const std::uint32_t z2 = level_cap(2, 0.1 / 1024);
+  EXPECT_NEAR(static_cast<double>(z2 - z1), 10.0, 1.0);
+}
+
+TEST(Params, AlphaAtLeastTwo) {
+  for (const std::uint32_t delta : {1u, 3u, 16u, 1u << 10, 1u << 20}) {
+    for (const double eps : {1.0, 0.5, 0.01}) {
+      for (const std::uint32_t f : {1u, 2u, 5u}) {
+        EXPECT_GE(theorem9_alpha(f, eps, delta, 0.001), 2.0);
+      }
+    }
+  }
+}
+
+TEST(Params, AlphaGrowsForHugeDeltaSmallF) {
+  // log D / (f log(f/eps) loglog D) with f=1, eps=1: log(f/eps) clamps
+  // to 1, so alpha ~ log D / loglog D > 2 for large D.
+  const double a = theorem9_alpha(1, 1.0, 1u << 30, 0.5);
+  EXPECT_GT(a, 2.0);
+  const double larger = theorem9_alpha(1, 1.0, 1u << 31, 0.5);
+  EXPECT_GE(larger, a * 0.99);
+}
+
+TEST(Params, AlphaFallsBackToTwoWhenTermSmall) {
+  // Large f drives the candidate below (log D)^{gamma/2} -> alpha = 2.
+  EXPECT_DOUBLE_EQ(theorem9_alpha(64, 0.01, 1u << 10, 0.001), 2.0);
+}
+
+TEST(Params, AlphaValidation) {
+  EXPECT_THROW(theorem9_alpha(2, 0.5, 8, 0.0), std::invalid_argument);
+  EXPECT_THROW(theorem9_alpha(0, 0.5, 8, 0.001), std::invalid_argument);
+}
+
+TEST(Params, Theorem8BudgetComposition) {
+  const auto b = theorem8_budget(2, 0.5, 1u << 10, 2.0, false);
+  const std::uint32_t z = level_cap(2, 0.5);
+  // raise budget: log2(Delta * 2^{f z}) / log2(alpha) = (10 + 2z) / 1.
+  EXPECT_DOUBLE_EQ(b.raise_budget, 10.0 + 2.0 * z);
+  EXPECT_DOUBLE_EQ(b.stuck_budget, 2.0 * z * 2.0);
+  EXPECT_DOUBLE_EQ(b.total(), b.raise_budget + b.stuck_budget);
+}
+
+TEST(Params, Theorem8BudgetAppendixCDoubles) {
+  const auto base = theorem8_budget(3, 0.25, 256, 4.0, false);
+  const auto varc = theorem8_budget(3, 0.25, 256, 4.0, true);
+  EXPECT_DOUBLE_EQ(varc.stuck_budget, 2.0 * base.stuck_budget);
+  EXPECT_DOUBLE_EQ(varc.raise_budget, base.raise_budget);
+}
+
+TEST(Params, Theorem8BudgetLargerAlphaFewerRaises) {
+  const auto a2 = theorem8_budget(2, 0.5, 1u << 20, 2.0, false);
+  const auto a8 = theorem8_budget(2, 0.5, 1u << 20, 8.0, false);
+  EXPECT_LT(a8.raise_budget, a2.raise_budget);
+  EXPECT_GT(a8.stuck_budget, a2.stuck_budget);
+}
+
+}  // namespace
+}  // namespace hypercover::core

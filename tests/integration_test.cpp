@@ -1,0 +1,195 @@
+// Cross-module integration tests: every algorithm on shared instances
+// (all verified against each other's guarantees), serialization round-trips
+// through the solver, planted-optimum instances at scales brute force
+// cannot reach, whole-pipeline determinism, and larger smoke runs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/kmw.hpp"
+#include "baselines/kvy.hpp"
+#include "baselines/sequential.hpp"
+#include "core/mwhvc.hpp"
+#include "core/reference.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/weights.hpp"
+#include "ilp/generators.hpp"
+#include "ilp/pipeline.hpp"
+#include "setcover/setcover.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover {
+namespace {
+
+TEST(Integration, AllAlgorithmsOnOneInstance) {
+  const auto g = hg::random_uniform(200, 500, 3, hg::uniform_weights(64), 7);
+  const double eps = 0.5;
+  const double f = g.rank();
+
+  core::MwhvcOptions mo;
+  mo.eps = eps;
+  const auto ours = core::solve_mwhvc(g, mo);
+  baselines::KmwOptions ko;
+  ko.eps = eps;
+  const auto kmw = baselines::solve_kmw(g, ko);
+  baselines::KvyOptions vo;
+  vo.eps = eps;
+  const auto kvy = baselines::solve_kvy(g, vo);
+  const auto lr = baselines::local_ratio_cover(g);
+  const auto greedy = baselines::greedy_cover(g);
+
+  // Validity for all five.
+  EXPECT_TRUE(verify::is_cover(g, ours.in_cover));
+  EXPECT_TRUE(verify::is_cover(g, kmw.in_cover));
+  EXPECT_TRUE(verify::is_cover(g, kvy.in_cover));
+  EXPECT_TRUE(verify::is_cover(g, lr.in_cover));
+  EXPECT_TRUE(verify::is_cover(g, greedy));
+
+  // Mutual consistency via dual lower bounds: any algorithm's dual total
+  // lower-bounds OPT, so every cover weighs at least every dual total.
+  for (const double lb : {ours.dual_total, kmw.dual_total, kvy.dual_total,
+                          lr.dual_total}) {
+    EXPECT_GE(static_cast<double>(ours.cover_weight), lb * (1 - 1e-9));
+    EXPECT_GE(static_cast<double>(kmw.cover_weight), lb * (1 - 1e-9));
+    EXPECT_GE(static_cast<double>(kvy.cover_weight), lb * (1 - 1e-9));
+    EXPECT_GE(static_cast<double>(g.weight_of(greedy)), lb * (1 - 1e-9));
+  }
+  // And every (f + eps) algorithm stays within its guarantee of the
+  // largest lower bound.
+  const double best_lb =
+      std::max({ours.dual_total, kmw.dual_total, kvy.dual_total});
+  EXPECT_GE((f + eps) * best_lb * (1 + 1e-9),
+            static_cast<double>(ours.cover_weight));
+}
+
+TEST(Integration, PlantedOptimumRecovered) {
+  // Quality at scale: planted instances give exact OPT without brute
+  // force. The algorithm must stay within (f + eps) of the plant.
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const auto inst = hg::planted_cover(5000, 9000, 3, 600, 8, seed);
+    ASSERT_TRUE(verify::is_cover(inst.graph, inst.optimal_cover));
+    ASSERT_EQ(inst.graph.weight_of(inst.optimal_cover), inst.optimal_weight);
+
+    core::MwhvcOptions o;
+    o.eps = 0.5;
+    const auto res = core::solve_mwhvc(inst.graph, o);
+    EXPECT_TRUE(verify::is_cover(inst.graph, res.in_cover));
+    const double ratio = static_cast<double>(res.cover_weight) /
+                         static_cast<double>(inst.optimal_weight);
+    EXPECT_LE(ratio, inst.graph.rank() + 0.5 + 1e-9) << "seed " << seed;
+    // The dual bound can never exceed the planted optimum.
+    EXPECT_LE(res.dual_total,
+              static_cast<double>(inst.optimal_weight) * (1 + 1e-9));
+  }
+}
+
+TEST(Integration, PlantedOptimumIsActuallyOptimal) {
+  // Sanity on the generator itself at brute-force scale.
+  const auto inst = hg::planted_cover(20, 12, 3, 4, 5, 9);
+  EXPECT_EQ(verify::brute_force_opt(inst.graph), inst.optimal_weight);
+}
+
+TEST(Integration, SerializationSolveRoundTrip) {
+  const auto g = hg::random_set_cover(40, 120, 4, hg::uniform_weights(30), 5);
+  const auto text = hg::to_text(g);
+  const auto g2 = hg::from_text(text);
+  core::MwhvcOptions o;
+  o.eps = 0.25;
+  const auto a = core::solve_mwhvc(g, o);
+  const auto b = core::solve_mwhvc(g2, o);
+  EXPECT_EQ(a.in_cover, b.in_cover);
+  EXPECT_EQ(a.duals, b.duals);
+  EXPECT_EQ(a.net.transcript_hash, b.net.transcript_hash);
+}
+
+TEST(Integration, WholePipelineDeterminism) {
+  // ILP pipeline end to end, twice; identical everything.
+  ilp::IlpGenParams params;
+  params.num_vars = 20;
+  params.num_constraints = 40;
+  params.max_row_support = 3;
+  const auto program = ilp::random_covering_ilp(params, 13);
+  ilp::PipelineOptions opts;
+  opts.eps = 0.5;
+  const auto a = ilp::solve_covering_ilp(program, opts);
+  const auto b = ilp::solve_covering_ilp(program, opts);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.inner.net.transcript_hash, b.inner.net.transcript_hash);
+}
+
+TEST(Integration, SetCoverAgainstHypergraphDirect) {
+  // Solving through the SetSystem facade must equal solving the reduced
+  // hypergraph directly.
+  sc::SetSystem sys(50);
+  util::Xoshiro256StarStar rng(21);
+  for (sc::ElementId x = 0; x < 50; x += 5) {
+    std::vector<sc::ElementId> block;
+    for (sc::ElementId y = x; y < x + 5; ++y) block.push_back(y);
+    sys.add_set(10, std::span<const sc::ElementId>(block));
+  }
+  for (int s = 0; s < 30; ++s) {
+    const auto picks =
+        util::sample_distinct(50, 1 + static_cast<std::uint32_t>(rng.below(3)),
+                              rng);
+    std::vector<sc::ElementId> elems(picks.begin(), picks.end());
+    sys.add_set(static_cast<hg::Weight>(1 + rng.below(8)),
+                std::span<const sc::ElementId>(elems));
+  }
+  sc::SetCoverOptions opts;
+  opts.eps = 0.5;
+  const auto facade = sc::solve_set_cover(sys, opts);
+  core::MwhvcOptions direct_opts;
+  direct_opts.eps = 0.5;
+  const auto direct = core::solve_mwhvc(sys.to_hypergraph(), direct_opts);
+  EXPECT_EQ(facade.selected, direct.in_cover);
+  EXPECT_EQ(facade.total_weight, direct.cover_weight);
+}
+
+TEST(Integration, LargeInstanceSmoke) {
+  // 50k vertices / 100k edges / 300k links end to end, verified.
+  const auto g =
+      hg::random_uniform(50000, 100000, 3, hg::exponential_weights(20), 31);
+  core::MwhvcOptions o;
+  o.eps = 0.5;
+  const auto res = core::solve_mwhvc(g, o);
+  ASSERT_TRUE(res.net.completed);
+  const auto cert = verify::certify(g, res.in_cover, res.duals);
+  EXPECT_TRUE(cert.valid()) << cert.error;
+  EXPECT_LE(cert.certified_ratio, g.rank() + 0.5 + 1e-6);
+  EXPECT_EQ(res.net.bandwidth_violations, 0u);
+}
+
+TEST(Integration, ReferenceAgreesAcrossOptionMatrix) {
+  // Reference vs engine across the full (eps, alpha, variant) matrix on
+  // one instance — beyond the per-combination sweep in reference_test.
+  const auto g = hg::random_uniform(15, 26, 3, hg::uniform_weights(10), 77);
+  for (const int eps_den : {1, 2, 4, 8}) {
+    for (const std::int64_t alpha : {2, 3, 5}) {
+      for (const bool variant : {false, true}) {
+        core::MwhvcOptions eo;
+        eo.eps = 1.0 / eps_den;
+        eo.alpha_mode = core::AlphaMode::kFixed;
+        eo.alpha_fixed = static_cast<double>(alpha);
+        eo.appendix_c = variant;
+        const auto engine = core::solve_mwhvc(g, eo);
+        core::ReferenceOptions ro;
+        ro.eps = util::Rational(1, eps_den);
+        ro.alpha = alpha;
+        ro.appendix_c = variant;
+        const auto ref = core::solve_reference(g, ro);
+        // At an exact threshold tie the double engine may legitimately
+        // branch the other way; equality is only promised on clean runs.
+        if (ref.near_tie) continue;
+        ASSERT_EQ(engine.in_cover, ref.in_cover)
+            << "eps=1/" << eps_den << " alpha=" << alpha << " c=" << variant;
+        ASSERT_EQ(engine.levels, ref.levels);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypercover

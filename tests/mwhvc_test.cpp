@@ -1,0 +1,344 @@
+// Correctness suite for Algorithm MWHVC: cover validity, dual feasibility,
+// the (f + eps) guarantee against exact optima and dual certificates,
+// invariant preservation (Claims 1, 2, 4), Theorem 8 iteration budgets,
+// CONGEST compliance, determinism, and the Appendix C variant — across
+// parameterized instance families.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mwhvc.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/stats.hpp"
+#include "hypergraph/weights.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::core {
+namespace {
+
+using hg::Hypergraph;
+
+MwhvcOptions strict_options(double eps) {
+  MwhvcOptions o;
+  o.eps = eps;
+  o.check_invariants = true;
+  o.collect_trace = true;
+  return o;
+}
+
+void expect_valid(const Hypergraph& g, const MwhvcResult& res, double eps,
+                  const char* what) {
+  ASSERT_TRUE(res.net.completed) << what << ": did not terminate";
+  const auto cert = verify::certify(g, res.in_cover, res.duals);
+  EXPECT_TRUE(cert.cover_valid) << what << ": " << cert.error;
+  EXPECT_TRUE(cert.packing_feasible) << what << ": " << cert.error;
+  const double f = res.f;
+  if (cert.dual_total > 0) {
+    EXPECT_LE(cert.certified_ratio, f + eps + 1e-6)
+        << what << ": certified ratio above f + eps";
+  }
+  EXPECT_TRUE(res.invariants_ok) << what << ": " << res.invariant_violation;
+}
+
+TEST(Mwhvc, SingleEdgePicksCheaperVertex) {
+  hg::Builder b;
+  b.add_vertex(10);
+  b.add_vertex(1);
+  b.add_edge({0, 1});
+  const auto g = b.build();
+  const auto res = solve_mwhvc(g, strict_options(0.5));
+  expect_valid(g, res, 0.5, "single edge");
+  EXPECT_FALSE(res.in_cover[0]);
+  EXPECT_TRUE(res.in_cover[1]);
+  EXPECT_EQ(res.cover_weight, 1);
+}
+
+TEST(Mwhvc, EmptyGraph) {
+  hg::Builder b;
+  b.add_vertices(3, 5);
+  const auto g = b.build();
+  const auto res = solve_mwhvc(g);
+  EXPECT_TRUE(res.net.completed);
+  EXPECT_EQ(res.cover_weight, 0);
+  EXPECT_TRUE(verify::is_cover(g, res.in_cover));
+}
+
+TEST(Mwhvc, TriangleUnitWeights) {
+  const auto g = hg::cycle(3, hg::unit_weights(), 0);
+  const auto res = solve_mwhvc(g, strict_options(1.0));
+  expect_valid(g, res, 1.0, "triangle");
+  // OPT = 2; guarantee is (2 + 1) * 2 = 6, and any valid cover has <= 3.
+  EXPECT_LE(res.cover_weight, 3);
+  EXPECT_GE(res.cover_weight, 2);
+}
+
+TEST(Mwhvc, StarCoversHubWhenLeavesAreExpensive) {
+  // Hub weight 1, leaves weight 100: hub alone is the only good cover.
+  hg::Builder b;
+  b.add_vertex(1);
+  for (int i = 0; i < 20; ++i) b.add_vertex(100);
+  for (hg::VertexId leaf = 1; leaf <= 20; ++leaf) b.add_edge({0u, leaf});
+  const auto g = b.build();
+  const auto res = solve_mwhvc(g, strict_options(0.5));
+  expect_valid(g, res, 0.5, "star");
+  EXPECT_TRUE(res.in_cover[0]);
+  // (f + eps) * OPT = 2.5: no expensive leaf can be afforded.
+  EXPECT_EQ(res.cover_weight, 1);
+}
+
+TEST(Mwhvc, AgainstExactOptimumSmallGraphs) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const auto g = hg::random_uniform(12, 20, 3, hg::uniform_weights(9), seed);
+    const auto res = solve_mwhvc(g, strict_options(0.5));
+    expect_valid(g, res, 0.5, "small random");
+    const auto opt = verify::brute_force_opt(g);
+    EXPECT_LE(res.cover_weight,
+              static_cast<double>(opt) * (res.f + 0.5) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+struct SweepParam {
+  std::uint32_t n, m, f;
+  double eps;
+  std::uint64_t seed;
+  int weight_model;  // 0 unit, 1 uniform, 2 exponential, 3 bimodal
+};
+
+class MwhvcSweep : public ::testing::TestWithParam<SweepParam> {};
+
+hg::WeightModel model_for(int id) {
+  switch (id) {
+    case 1:
+      return hg::uniform_weights(1000);
+    case 2:
+      return hg::exponential_weights(20);
+    case 3:
+      return hg::bimodal_weights(1 << 20);
+    default:
+      return hg::unit_weights();
+  }
+}
+
+TEST_P(MwhvcSweep, CoverAndCertificateAndInvariants) {
+  const auto p = GetParam();
+  const auto g = hg::random_uniform(p.n, p.m, p.f, model_for(p.weight_model),
+                                    p.seed);
+  const auto res = solve_mwhvc(g, strict_options(p.eps));
+  expect_valid(g, res, p.eps, "sweep");
+  // Claim 4: levels stay below z.
+  EXPECT_LT(res.trace.max_level, res.z);
+  // CONGEST: no message exceeded the bandwidth bound.
+  EXPECT_EQ(res.net.bandwidth_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilySweep, MwhvcSweep,
+    ::testing::Values(
+        SweepParam{30, 60, 2, 1.0, 11, 0}, SweepParam{30, 60, 2, 0.5, 12, 1},
+        SweepParam{30, 60, 2, 0.1, 13, 2}, SweepParam{50, 120, 3, 1.0, 14, 1},
+        SweepParam{50, 120, 3, 0.25, 15, 2},
+        SweepParam{50, 120, 3, 0.05, 16, 3},
+        SweepParam{80, 200, 4, 0.5, 17, 1}, SweepParam{80, 200, 4, 0.1, 18, 2},
+        SweepParam{80, 200, 5, 1.0, 19, 3},
+        SweepParam{120, 300, 5, 0.5, 20, 1},
+        SweepParam{200, 400, 2, 0.5, 21, 2},
+        SweepParam{200, 150, 6, 0.3, 22, 1}));
+
+class MwhvcTopology : public ::testing::TestWithParam<int> {};
+
+TEST_P(MwhvcTopology, StructuredInstances) {
+  Hypergraph g;
+  switch (GetParam()) {
+    case 0:
+      g = hg::cycle(101, hg::uniform_weights(50), 1);
+      break;
+    case 1:
+      g = hg::complete_graph(24, hg::uniform_weights(50), 2);
+      break;
+    case 2:
+      g = hg::complete_bipartite(8, 40, hg::uniform_weights(50), 3);
+      break;
+    case 3:
+      g = hg::grid(12, 12, hg::uniform_weights(50), 4);
+      break;
+    case 4:
+      g = hg::hyper_star(128, 4, hg::uniform_weights(50), 5);
+      break;
+    case 5:
+      g = hg::random_set_cover(40, 150, 5, hg::uniform_weights(50), 6);
+      break;
+    default:
+      g = hg::random_bounded_degree(150, 300, 3, 8, hg::uniform_weights(50), 7);
+  }
+  const auto res = solve_mwhvc(g, strict_options(0.5));
+  expect_valid(g, res, 0.5, "topology");
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MwhvcTopology, ::testing::Range(0, 7));
+
+TEST(Mwhvc, Theorem8IterationBudgetHolds) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const auto g =
+        hg::random_uniform(100, 400, 3, hg::exponential_weights(16), seed);
+    MwhvcOptions o = strict_options(0.5);
+    o.alpha_mode = AlphaMode::kFixed;
+    o.alpha_fixed = 2.0;
+    const auto res = solve_mwhvc(g, o);
+    expect_valid(g, res, 0.5, "budget");
+    const auto budget =
+        theorem8_budget(res.f, 0.5, g.max_degree(), 2.0, false);
+    // Theorem 8 bounds the iterations until any single edge is covered;
+    // globally the last edge finishes within the same budget.
+    EXPECT_LE(res.iterations, budget.total() + 2) << "seed " << seed;
+  }
+}
+
+TEST(Mwhvc, Lemma6RaiseBudgetPerEdge) {
+  const auto g =
+      hg::random_uniform(80, 240, 3, hg::exponential_weights(12), 99);
+  MwhvcOptions o = strict_options(0.5);
+  o.alpha_mode = AlphaMode::kFixed;
+  o.alpha_fixed = 2.0;
+  const auto res = solve_mwhvc(g, o);
+  const double bound =
+      std::log2(g.max_degree() * std::pow(2.0, double(res.f) * res.z));
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(res.trace.edge_raises[e], bound + 1e-9) << "edge " << e;
+  }
+}
+
+TEST(Mwhvc, Lemma7StuckBudgetPerVertexLevel) {
+  const auto g =
+      hg::random_uniform(80, 240, 3, hg::exponential_weights(12), 98);
+  MwhvcOptions o = strict_options(0.5);
+  o.alpha_mode = AlphaMode::kFixed;
+  o.alpha_fixed = 3.0;
+  const auto res = solve_mwhvc(g, o);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t l = 0; l < res.z; ++l) {
+      EXPECT_LE(res.trace.stuck_per_level[std::size_t{v} * res.z + l], 3u + 1u)
+          << "v=" << v << " level=" << l;
+    }
+  }
+}
+
+TEST(Mwhvc, EdgeHalvingsBoundedByFZ) {
+  const auto g =
+      hg::random_uniform(60, 150, 4, hg::exponential_weights(10), 55);
+  const auto res = solve_mwhvc(g, strict_options(0.25));
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(res.trace.edge_halvings[e], res.f * res.z) << "edge " << e;
+  }
+}
+
+TEST(Mwhvc, AppendixCOneLevelPerIteration) {
+  for (const std::uint64_t seed : {7, 8}) {
+    const auto g =
+        hg::random_uniform(60, 180, 3, hg::exponential_weights(14), seed);
+    MwhvcOptions o = strict_options(0.25);
+    o.appendix_c = true;
+    const auto res = solve_mwhvc(g, o);
+    expect_valid(g, res, 0.25, "appendix c");
+    EXPECT_LE(res.trace.max_level_incr_per_iter, 1u);  // Corollary 21
+  }
+}
+
+TEST(Mwhvc, AppendixCStuckBudgetDoubles) {
+  const auto g =
+      hg::random_uniform(60, 180, 3, hg::exponential_weights(10), 77);
+  MwhvcOptions o = strict_options(0.5);
+  o.appendix_c = true;
+  o.alpha_mode = AlphaMode::kFixed;
+  o.alpha_fixed = 2.0;
+  const auto res = solve_mwhvc(g, o);
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t l = 0; l < res.z; ++l) {
+      // Lemma 22: at most 2 alpha stuck iterations per level.
+      EXPECT_LE(res.trace.stuck_per_level[std::size_t{v} * res.z + l],
+                2u * 2u + 1u);
+    }
+  }
+}
+
+TEST(Mwhvc, FApproximationViaCorollary10Epsilon) {
+  for (const std::uint64_t seed : {31, 32, 33}) {
+    const auto g = hg::random_uniform(14, 25, 3, hg::uniform_weights(6), seed);
+    MwhvcOptions o;
+    o.eps = f_approx_epsilon(g);
+    const auto res = solve_mwhvc(g, o);
+    ASSERT_TRUE(res.net.completed);
+    EXPECT_TRUE(verify::is_cover(g, res.in_cover));
+    const auto opt = verify::brute_force_opt(g);
+    // With eps = 1/(nW) and integral weights the guarantee rounds to f.
+    EXPECT_LE(res.cover_weight, res.f * opt) << "seed " << seed;
+  }
+}
+
+TEST(Mwhvc, DeterministicAcrossRuns) {
+  const auto g =
+      hg::random_uniform(70, 200, 3, hg::uniform_weights(100), 2718);
+  const auto a = solve_mwhvc(g, strict_options(0.5));
+  const auto b = solve_mwhvc(g, strict_options(0.5));
+  EXPECT_EQ(a.in_cover, b.in_cover);
+  EXPECT_EQ(a.net.transcript_hash, b.net.transcript_hash);
+  EXPECT_EQ(a.net.rounds, b.net.rounds);
+  EXPECT_EQ(a.duals, b.duals);
+}
+
+TEST(Mwhvc, AlphaModesAllValid) {
+  const auto g =
+      hg::random_uniform(60, 150, 3, hg::exponential_weights(12), 321);
+  for (const AlphaMode mode :
+       {AlphaMode::kGlobalDelta, AlphaMode::kLocalPerEdge, AlphaMode::kFixed}) {
+    MwhvcOptions o = strict_options(0.5);
+    o.alpha_mode = mode;
+    o.alpha_fixed = 4.0;
+    const auto res = solve_mwhvc(g, o);
+    expect_valid(g, res, 0.5, "alpha mode");
+  }
+}
+
+TEST(Mwhvc, WeightIndependenceOfRounds) {
+  // The headline property: rounds do not grow with the weight ratio W.
+  const auto base = hg::hyper_star(256, 3, hg::unit_weights(), 0);
+  const auto res_unit = solve_mwhvc(base, strict_options(0.5));
+  const auto heavy = hg::hyper_star(256, 3, hg::exponential_weights(40), 0);
+  const auto res_heavy = solve_mwhvc(heavy, strict_options(0.5));
+  expect_valid(heavy, res_heavy, 0.5, "heavy star");
+  // Allow a small constant wobble, not a log W growth (which would be
+  // ~40 extra iterations here).
+  EXPECT_NEAR(static_cast<double>(res_heavy.net.rounds),
+              static_cast<double>(res_unit.net.rounds),
+              0.5 * res_unit.net.rounds + 8.0);
+}
+
+TEST(Mwhvc, RejectsBadOptions) {
+  const auto g = hg::cycle(5, hg::unit_weights(), 0);
+  MwhvcOptions o;
+  o.eps = 0.0;
+  EXPECT_THROW((void)solve_mwhvc(g, o), std::invalid_argument);
+  o.eps = 2.0;
+  EXPECT_THROW((void)solve_mwhvc(g, o), std::invalid_argument);
+  o = {};
+  o.alpha_mode = AlphaMode::kFixed;
+  o.alpha_fixed = 1.5;
+  EXPECT_THROW((void)solve_mwhvc(g, o), std::invalid_argument);
+  o = {};
+  o.f_override = 1;  // below the rank (2)
+  EXPECT_THROW((void)solve_mwhvc(g, o), std::invalid_argument);
+}
+
+TEST(Mwhvc, DualTotalLowerBoundsOpt) {
+  for (const std::uint64_t seed : {41, 42}) {
+    const auto g = hg::random_uniform(14, 28, 2, hg::uniform_weights(8), seed);
+    const auto res = solve_mwhvc(g, strict_options(0.5));
+    const auto opt = verify::brute_force_opt(g);
+    EXPECT_LE(res.dual_total, static_cast<double>(opt) * (1.0 + 1e-9))
+        << "weak duality violated, seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hypercover::core

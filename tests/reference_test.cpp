@@ -1,0 +1,148 @@
+// Cross-validation of the production double-arithmetic distributed engine
+// against the exact-rational centralized reference implementation
+// (src/core/reference.hpp): on the same instance, both must make
+// identical discrete decisions (cover membership, per-vertex levels,
+// iteration counts) and agree on the dual variables to floating-point
+// accuracy. This is the test that justifies DESIGN.md's choice of double
+// arithmetic for the production engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mwhvc.hpp"
+#include "core/reference.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::core {
+namespace {
+
+struct XValParam {
+  std::uint32_t n, m, f;
+  int eps_den;  // eps = 1/eps_den (exact in both representations)
+  std::int64_t alpha;
+  bool appendix_c;
+  std::uint64_t seed;
+};
+
+class CrossValidation : public ::testing::TestWithParam<XValParam> {};
+
+TEST_P(CrossValidation, EngineMatchesExactReference) {
+  const auto p = GetParam();
+  // Small weights keep all rationals well inside the 128-bit guard.
+  const auto g =
+      hg::random_uniform(p.n, p.m, p.f, hg::uniform_weights(12), p.seed);
+
+  MwhvcOptions engine_opts;
+  engine_opts.eps = 1.0 / p.eps_den;
+  engine_opts.alpha_mode = AlphaMode::kFixed;
+  engine_opts.alpha_fixed = static_cast<double>(p.alpha);
+  engine_opts.appendix_c = p.appendix_c;
+  const auto engine = solve_mwhvc(g, engine_opts);
+  ASSERT_TRUE(engine.net.completed);
+
+  ReferenceOptions ref_opts;
+  ref_opts.eps = util::Rational(1, p.eps_den);
+  ref_opts.alpha = p.alpha;
+  ref_opts.appendix_c = p.appendix_c;
+  const auto ref = solve_reference(g, ref_opts);
+  ASSERT_TRUE(ref.completed);
+  // The parameter list below is curated to tie-free instances; if a seed
+  // drifts onto a threshold tie after a generator change, skip rather
+  // than compare undefined branching.
+  if (ref.near_tie) GTEST_SKIP() << "instance has a threshold tie";
+
+  // Identical discrete decisions.
+  EXPECT_EQ(engine.in_cover, ref.in_cover);
+  EXPECT_EQ(engine.cover_weight, ref.cover_weight);
+  EXPECT_EQ(engine.levels, ref.levels);
+  EXPECT_EQ(engine.iterations, ref.iterations);
+  EXPECT_EQ(engine.z, ref.z);
+  EXPECT_NEAR(engine.beta, ref.beta.to_double(), 1e-15);
+
+  // Duals agree to floating-point accuracy, edge by edge.
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double exact = ref.duals[e].to_double();
+    EXPECT_NEAR(engine.duals[e], exact,
+                1e-12 * std::max(1.0, std::fabs(exact)))
+        << "edge " << e;
+  }
+
+  // And the reference's own output is a valid certified solution.
+  std::vector<double> ref_duals(g.num_edges());
+  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+    ref_duals[e] = ref.duals[e].to_double();
+  }
+  const auto cert = verify::certify(g, ref.in_cover, ref_duals);
+  EXPECT_TRUE(cert.valid()) << cert.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossValidation,
+    ::testing::Values(
+        // Seeds chosen tie-free (tests/reference_test.cpp rationale; the
+        // scan tool lives in the repo history): near-tie instances skip.
+        XValParam{10, 18, 2, 2, 2, false, 3},
+        XValParam{10, 18, 2, 2, 2, true, 3},
+        XValParam{14, 25, 3, 2, 2, false, 8},
+        XValParam{14, 25, 3, 4, 2, false, 8},
+        XValParam{14, 25, 3, 4, 2, true, 6},
+        XValParam{18, 32, 3, 2, 4, false, 3},
+        XValParam{18, 32, 3, 8, 4, false, 3},
+        XValParam{12, 40, 2, 4, 3, false, 7},
+        XValParam{20, 30, 4, 2, 2, false, 10},
+        XValParam{20, 30, 4, 2, 2, true, 16},
+        XValParam{16, 28, 5, 4, 2, false, 17},
+        XValParam{24, 40, 2, 16, 2, false, 83}));
+
+TEST(Reference, StandaloneValidityOnFamilies) {
+  for (const std::uint64_t seed : {11, 12, 13}) {
+    const auto g = hg::random_uniform(16, 28, 3, hg::uniform_weights(9), seed);
+    const auto ref = solve_reference(g);
+    ASSERT_TRUE(ref.completed);
+    EXPECT_TRUE(verify::is_cover(g, ref.in_cover));
+    // Claim 4: levels below z.
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LE(ref.levels[v], ref.z);
+    }
+    // Exact dual feasibility with ZERO tolerance — the point of rationals.
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      util::Rational sum(0);
+      for (const hg::EdgeId e : g.edges_of(v)) sum += ref.duals[e];
+      EXPECT_LE(sum, util::Rational(g.weight(v))) << "vertex " << v;
+    }
+    // Exact Claim 20 guarantee: w(C) <= (f + eps) * dual total, i.e.
+    // (1 - beta) * w(C) <= f * dual total.
+    util::Rational dual_total(0);
+    for (const auto& d : ref.duals) dual_total += d;
+    util::Rational cover_w(0);
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (ref.in_cover[v]) cover_w += util::Rational(g.weight(v));
+    }
+    EXPECT_LE((util::Rational(1) - ref.beta) * cover_w,
+              util::Rational(static_cast<std::int64_t>(g.rank())) * dual_total);
+  }
+}
+
+TEST(Reference, RejectsBadOptions) {
+  const auto g = hg::cycle(4, hg::unit_weights(), 0);
+  ReferenceOptions o;
+  o.eps = util::Rational(0);
+  EXPECT_THROW((void)solve_reference(g, o), std::invalid_argument);
+  o = {};
+  o.alpha = 1;
+  EXPECT_THROW((void)solve_reference(g, o), std::invalid_argument);
+}
+
+TEST(Reference, EmptyGraph) {
+  hg::Builder b;
+  b.add_vertices(3, 2);
+  const auto res = solve_reference(b.build());
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.cover_weight, 0);
+}
+
+}  // namespace
+}  // namespace hypercover::core

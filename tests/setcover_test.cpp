@@ -1,0 +1,143 @@
+// Tests for the Set Cover facade: system construction and validation, the
+// §2 reduction's structure, frequency accounting, and end-to-end solving
+// against exact optima.
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/stats.hpp"
+#include "util/prng.hpp"
+#include "setcover/setcover.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::sc {
+namespace {
+
+/// Universe {0..4}; classic overlapping sets.
+SetSystem demo_system() {
+  SetSystem sys(5);
+  sys.add_set(3, {0, 1, 2});
+  sys.add_set(2, {2, 3});
+  sys.add_set(2, {3, 4});
+  sys.add_set(9, {0, 1, 2, 3, 4});
+  return sys;
+}
+
+TEST(SetSystem, BasicAccessors) {
+  const auto sys = demo_system();
+  EXPECT_EQ(sys.num_elements(), 5u);
+  EXPECT_EQ(sys.num_sets(), 4u);
+  EXPECT_EQ(sys.weight(1), 2);
+  EXPECT_EQ(sys.elements_of(2).size(), 2u);
+}
+
+TEST(SetSystem, FrequencyAccounting) {
+  const auto sys = demo_system();
+  EXPECT_EQ(sys.frequency(0), 2u);  // sets 0, 3
+  EXPECT_EQ(sys.frequency(2), 3u);  // sets 0, 1, 3
+  EXPECT_EQ(sys.frequency(3), 3u);  // sets 1, 2, 3
+  EXPECT_EQ(sys.max_frequency(), 3u);
+}
+
+TEST(SetSystem, Validation) {
+  SetSystem sys(3);
+  EXPECT_THROW(sys.add_set(0, {0}), std::invalid_argument);
+  EXPECT_THROW(sys.add_set(1, {5}), std::invalid_argument);
+  EXPECT_THROW(sys.add_set(1, {1, 1}), std::invalid_argument);
+}
+
+TEST(SetSystem, UncoverableElements) {
+  SetSystem sys(4);
+  sys.add_set(1, {0, 2});
+  const auto missing = sys.uncoverable_elements();
+  EXPECT_EQ(missing, (std::vector<ElementId>{1, 3}));
+  EXPECT_THROW((void)sys.to_hypergraph(), std::invalid_argument);
+}
+
+TEST(SetSystem, ReductionStructure) {
+  const auto sys = demo_system();
+  const auto g = sys.to_hypergraph();
+  // Vertices = sets, edges = elements (paper §2).
+  EXPECT_EQ(g.num_vertices(), sys.num_sets());
+  EXPECT_EQ(g.num_edges(), sys.num_elements());
+  EXPECT_EQ(g.rank(), sys.max_frequency());
+  // Edge for element 2 = sets {0, 1, 3}.
+  const auto e2 = g.vertices_of(2);
+  EXPECT_EQ(std::vector<hg::VertexId>(e2.begin(), e2.end()),
+            (std::vector<hg::VertexId>{0, 1, 3}));
+  // Vertex degree = set size.
+  EXPECT_EQ(g.degree(3), 5u);
+  EXPECT_EQ(g.weight(3), 9);
+}
+
+TEST(SolveSetCover, CoversEveryElement) {
+  const auto sys = demo_system();
+  const auto res = solve_set_cover(sys);
+  std::vector<bool> element_covered(sys.num_elements(), false);
+  for (const SetId s : res.selected_ids) {
+    for (const ElementId x : sys.elements_of(s)) element_covered[x] = true;
+  }
+  for (ElementId x = 0; x < sys.num_elements(); ++x) {
+    EXPECT_TRUE(element_covered[x]) << "element " << x;
+  }
+  EXPECT_EQ(res.frequency, 3u);
+  EXPECT_LE(res.certified_ratio, res.frequency + 0.5 + 1e-9);
+}
+
+TEST(SolveSetCover, MatchesExactOptimumOnSmallSystems) {
+  // OPT here: sets {0, 2} with weight 5 cover {0,1,2} + {3,4}.
+  const auto sys = demo_system();
+  const auto res = solve_set_cover(sys);
+  const auto opt = verify::brute_force_opt(sys.to_hypergraph());
+  EXPECT_EQ(opt, 5);
+  EXPECT_LE(static_cast<double>(res.total_weight),
+            (res.frequency + 0.5) * static_cast<double>(opt));
+}
+
+TEST(SolveSetCover, SelectionIdsConsistentWithMask) {
+  const auto res = solve_set_cover(demo_system());
+  hg::Weight total = 0;
+  const auto sys = demo_system();
+  for (const SetId s : res.selected_ids) {
+    EXPECT_TRUE(res.selected[s]);
+    total += sys.weight(s);
+  }
+  EXPECT_EQ(total, res.total_weight);
+}
+
+TEST(SolveSetCover, SingletonSetsDegenerate) {
+  // Each element in exactly one set: f = 1, every set mandatory.
+  SetSystem sys(3);
+  sys.add_set(4, {0});
+  sys.add_set(5, {1, 2});
+  const auto res = solve_set_cover(sys);
+  EXPECT_EQ(res.total_weight, 9);
+  EXPECT_EQ(res.frequency, 1u);
+  EXPECT_EQ(res.selected_ids.size(), 2u);
+}
+
+TEST(SolveSetCover, LargeRandomSystemVerified) {
+  SetSystem sys(300);
+  util::Xoshiro256StarStar rng(99);
+  // Ensure coverage: a chain of base sets, then random extras.
+  for (ElementId x = 0; x < 300; x += 10) {
+    std::vector<ElementId> block;
+    for (ElementId y = x; y < std::min(x + 10, 300u); ++y) block.push_back(y);
+    sys.add_set(20, std::span<const ElementId>(block));
+  }
+  for (int s = 0; s < 120; ++s) {
+    const auto k = 1 + rng.below(4);
+    const auto picks = util::sample_distinct(300, static_cast<std::uint32_t>(k),
+                                             rng);
+    std::vector<ElementId> elems(picks.begin(), picks.end());
+    sys.add_set(static_cast<hg::Weight>(1 + rng.below(10)),
+                std::span<const ElementId>(elems));
+  }
+  SetCoverOptions opts;
+  opts.eps = 0.25;
+  const auto res = solve_set_cover(sys, opts);
+  EXPECT_LE(res.certified_ratio, res.frequency + 0.25 + 1e-9);
+  EXPECT_TRUE(res.mwhvc.net.completed);
+}
+
+}  // namespace
+}  // namespace hypercover::sc

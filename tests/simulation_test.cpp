@@ -1,0 +1,149 @@
+// Tests for the Claim 15 network simulation (src/ilp/simulation.hpp):
+// the MWHVC protocol executed on N(ILP) must produce EXACTLY the solution
+// of the direct run on the (non-deduplicated) clause hypergraph, with
+// per-iteration message sizes bounded by O(f(A)) bits, and the measured
+// rounds must beat the pipeline's analytic simulation estimate's shape.
+
+#include <gtest/gtest.h>
+
+#include "core/mwhvc.hpp"
+#include "ilp/generators.hpp"
+#include "ilp/simulation.hpp"
+#include "ilp/to_hypergraph.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::ilp {
+namespace {
+
+CoveringIlp sample_zo(std::uint32_t vars, std::uint32_t cons,
+                      std::uint32_t support, std::uint64_t seed) {
+  IlpGenParams params;
+  params.num_vars = vars;
+  params.num_constraints = cons;
+  params.max_row_support = support;
+  params.max_coeff = 3;
+  return random_zero_one_ilp(params, seed);
+}
+
+TEST(Simulation, MatchesDirectHypergraphRunExactly) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const auto zo = sample_zo(30, 50, 3, seed);
+
+    SimulationOptions sopts;
+    sopts.eps = 0.5;
+    const auto sim = simulate_zero_one(zo, sopts);
+    ASSERT_TRUE(sim.net.completed) << "seed " << seed;
+    ASSERT_TRUE(sim.feasible) << "seed " << seed;
+
+    // Direct run on the same clauses (no dedup: the simulation keeps
+    // per-constraint copies), Appendix C variant as the simulation uses.
+    const auto red = zero_one_to_hypergraph(zo, 22, /*deduplicate=*/false);
+    core::MwhvcOptions dopts;
+    dopts.eps = 0.5;
+    dopts.appendix_c = true;
+    const auto direct = core::solve_mwhvc(red.graph, dopts);
+
+    std::vector<Value> direct_x(zo.num_vars(), 0);
+    for (std::uint32_t j = 0; j < zo.num_vars(); ++j) {
+      direct_x[j] = direct.in_cover[j] ? 1 : 0;
+    }
+    EXPECT_EQ(sim.x, direct_x) << "seed " << seed;
+    EXPECT_EQ(sim.rank, red.graph.rank()) << "seed " << seed;
+    EXPECT_EQ(sim.clause_edges, red.graph.num_edges());
+    // The dual totals agree to rounding (replica collection vs edge sums).
+    EXPECT_NEAR(sim.dual_total, direct.dual_total,
+                1e-9 * std::max(1.0, direct.dual_total));
+    // Same number of primal-dual iterations on both networks.
+    EXPECT_EQ(sim.iterations, direct.iterations) << "seed " << seed;
+  }
+}
+
+TEST(Simulation, CertifiedApproximation) {
+  for (const std::uint64_t seed : {7, 8, 9}) {
+    const auto zo = sample_zo(40, 70, 4, seed);
+    SimulationOptions opts;
+    opts.eps = 0.25;
+    const auto sim = simulate_zero_one(zo, opts);
+    ASSERT_TRUE(sim.feasible);
+    // Claim 20 certificate: objective <= (f' + eps) Σδ.
+    EXPECT_LE(static_cast<double>(sim.objective),
+              (sim.rank + 0.25) * sim.dual_total * (1 + 1e-9));
+  }
+}
+
+TEST(Simulation, MessagesAreMaskSized) {
+  const auto zo = sample_zo(50, 90, 4, 11);
+  SimulationOptions opts;
+  const auto sim = simulate_zero_one(zo, opts);
+  // Per-iteration messages carry at most 2 + 2 f(A) bits; only the init
+  // preamble (f(A) weight/degree pairs) is larger. With weights <= 10 and
+  // f(A) <= 4 the preamble stays under ~70 bits.
+  EXPECT_LE(sim.net.max_message_bits, 2u + zo.row_support() * 16u);
+  EXPECT_EQ(sim.net.bandwidth_violations, 0u);
+}
+
+TEST(Simulation, RoundsScaleLikeDirectRun) {
+  // The whole point of Claim 15: simulating H on N(ILP) costs the same
+  // iteration count (4 rounds per iteration + init on both networks).
+  const auto zo = sample_zo(60, 120, 3, 13);
+  SimulationOptions opts;
+  const auto sim = simulate_zero_one(zo, opts);
+  const auto red = zero_one_to_hypergraph(zo, 22, false);
+  core::MwhvcOptions dopts;
+  dopts.appendix_c = true;
+  const auto direct = core::solve_mwhvc(red.graph, dopts);
+  EXPECT_EQ(sim.net.rounds, direct.net.rounds);
+}
+
+TEST(Simulation, SolutionSatisfiesEveryConstraint) {
+  for (const std::uint64_t seed : {20, 21, 22, 23}) {
+    const auto zo = sample_zo(25, 45, 5, seed);
+    const auto sim = simulate_zero_one(zo);
+    ASSERT_TRUE(sim.feasible) << "seed " << seed;
+    for (const Value xj : sim.x) {
+      EXPECT_GE(xj, 0);
+      EXPECT_LE(xj, 1);
+    }
+  }
+}
+
+TEST(Simulation, AgainstBruteForceOnTinyPrograms) {
+  for (const std::uint64_t seed : {31, 32, 33}) {
+    const auto zo = sample_zo(8, 10, 2, seed);
+    const auto sim = simulate_zero_one(zo);
+    ASSERT_TRUE(sim.feasible);
+    const Value opt = brute_force_ilp_opt(zo);
+    ASSERT_GT(opt, -1);
+    EXPECT_LE(static_cast<double>(sim.objective),
+              (sim.rank + 0.5) * static_cast<double>(opt) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Simulation, EmptyAndGuards) {
+  CoveringIlp empty(std::vector<Value>{1, 2});
+  const auto sim = simulate_zero_one(empty);
+  EXPECT_TRUE(sim.feasible);
+  EXPECT_EQ(sim.objective, 0);
+
+  SimulationOptions opts;
+  opts.eps = 0;
+  EXPECT_THROW((void)simulate_zero_one(empty, opts), std::invalid_argument);
+
+  CoveringIlp wide(std::vector<Value>(30, 1));
+  std::vector<Entry> row;
+  for (std::uint32_t j = 0; j < 25; ++j) row.push_back({j, 1});
+  wide.add_constraint(row, 1);
+  EXPECT_THROW((void)simulate_zero_one(wide), std::invalid_argument);
+}
+
+TEST(Simulation, Deterministic) {
+  const auto zo = sample_zo(30, 50, 3, 41);
+  const auto a = simulate_zero_one(zo);
+  const auto b = simulate_zero_one(zo);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.net.transcript_hash, b.net.transcript_hash);
+}
+
+}  // namespace
+}  // namespace hypercover::ilp

@@ -1,0 +1,207 @@
+// Unit tests for src/util: PRNG determinism and distribution sanity,
+// exact rational arithmetic, math helpers, table rendering, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/prng.hpp"
+#include "util/rational.hpp"
+#include "util/table.hpp"
+
+namespace hypercover::util {
+namespace {
+
+TEST(Prng, SameSeedSameStream) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Prng, BelowCoversAllResidues) {
+  Xoshiro256StarStar rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, InRangeInclusiveBounds) {
+  Xoshiro256StarStar rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.in_range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, Uniform01InUnitInterval) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Prng, SampleDistinctProducesDistinct) {
+  Xoshiro256StarStar rng(5);
+  for (std::uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto s = sample_distinct(100, k, rng);
+    EXPECT_EQ(s.size(), k);
+    const std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (const auto v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Prng, SampleDistinctFullRange) {
+  Xoshiro256StarStar rng(5);
+  const auto s = sample_distinct(10, 10, rng);
+  const std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Xoshiro256StarStar rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(std::span<int>(v), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rational, BasicArithmetic) {
+  const Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+}
+
+TEST(Rational, NormalizationAndSign) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, -7), Rational(0));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 8), Rational(6, 7));
+  EXPECT_EQ(Rational(3, 6) <=> Rational(1, 2), std::strong_ordering::equal);
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, HalvedAndPow2) {
+  EXPECT_EQ(Rational(3, 4).halved(), Rational(3, 8));
+  EXPECT_EQ(Rational(5).scaled_down_pow2(3), Rational(5, 8));
+  EXPECT_EQ(Rational(1).scaled_down_pow2(100).scaled_down_pow2(20),
+            Rational(1).scaled_down_pow2(120));
+}
+
+TEST(Rational, OneMinusPow2) {
+  EXPECT_EQ(one_minus_pow2(0), Rational(0));
+  EXPECT_EQ(one_minus_pow2(1), Rational(1, 2));
+  EXPECT_EQ(one_minus_pow2(3), Rational(7, 8));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, OverflowThrows) {
+  const Rational huge(static_cast<Rational::Int>(1) << 125, 1);
+  EXPECT_THROW(huge * huge, std::overflow_error);
+}
+
+TEST(Rational, ToDoubleAndString) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_EQ(Rational(-3, 7).to_string(), "-3/7");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+}
+
+TEST(Math, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Math, BitWidthOrOne) {
+  EXPECT_EQ(bit_width_or_one(0), 1);
+  EXPECT_EQ(bit_width_or_one(1), 1);
+  EXPECT_EQ(bit_width_or_one(2), 2);
+  EXPECT_EQ(bit_width_or_one(255), 8);
+  EXPECT_EQ(bit_width_or_one(256), 9);
+}
+
+TEST(Math, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::int64_t{42});
+  t.row().add("b").add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), std::out_of_range);
+}
+
+TEST(Cli, ParsesKeysAndDefaults) {
+  const char* argv[] = {"prog", "--n=100", "--eps=0.25", "--verbose"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("n", std::int64_t{5}), 100);
+  EXPECT_DOUBLE_EQ(cli.get("eps", 1.0), 0.25);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+  EXPECT_EQ(cli.get("missing", std::string("dflt")), "dflt");
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hypercover::util

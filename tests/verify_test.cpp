@@ -1,0 +1,111 @@
+// Tests for the verification library: cover checking, dual-packing
+// feasibility, certificates, and the branch-and-bound exact solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::verify {
+namespace {
+
+hg::Hypergraph path3() {
+  // 0 -1- 2: edges {0,1}, {1,2}.
+  hg::Builder b;
+  b.add_vertex(4);
+  b.add_vertex(3);
+  b.add_vertex(5);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  return b.build();
+}
+
+TEST(Verify, IsCoverDetectsCoverage) {
+  const auto g = path3();
+  EXPECT_TRUE(is_cover(g, {false, true, false}));
+  EXPECT_TRUE(is_cover(g, {true, false, true}));
+  EXPECT_FALSE(is_cover(g, {true, false, false}));
+  EXPECT_FALSE(is_cover(g, {false, false, false}));
+}
+
+TEST(Verify, UncoveredEdgesLists) {
+  const auto g = path3();
+  const auto missing = uncovered_edges(g, {true, false, false});
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], 1u);
+  EXPECT_THROW((void)uncovered_edges(g, {true}), std::invalid_argument);
+}
+
+TEST(Verify, PackingFeasibility) {
+  const auto g = path3();
+  // Vertex 1 has weight 3 and both edges: sum must stay <= 3.
+  EXPECT_TRUE(is_feasible_packing(g, {1.5, 1.5}));
+  EXPECT_TRUE(is_feasible_packing(g, {2.0, 1.0}));
+  EXPECT_FALSE(is_feasible_packing(g, {2.0, 1.5}));
+  EXPECT_FALSE(is_feasible_packing(g, {-0.5, 0.5}));
+  EXPECT_THROW((void)is_feasible_packing(g, {1.0}), std::invalid_argument);
+}
+
+TEST(Verify, CertificateRatio) {
+  const auto g = path3();
+  // Cover {1} weighs 3; duals sum 3 -> certified ratio 1 (it is optimal).
+  const auto cert = certify(g, {false, true, false}, {1.5, 1.5});
+  EXPECT_TRUE(cert.valid());
+  EXPECT_EQ(cert.cover_weight, 3);
+  EXPECT_DOUBLE_EQ(cert.certified_ratio, 1.0);
+}
+
+TEST(Verify, CertificateFlagsBadCover) {
+  const auto g = path3();
+  const auto cert = certify(g, {true, false, false}, {1.0, 1.0});
+  EXPECT_FALSE(cert.valid());
+  EXPECT_FALSE(cert.cover_valid);
+  EXPECT_NE(cert.error.find("uncovered"), std::string::npos);
+}
+
+TEST(Verify, CertificateInfiniteRatioOnZeroDuals) {
+  const auto g = path3();
+  const auto cert = certify(g, {false, true, false}, {0.0, 0.0});
+  EXPECT_TRUE(std::isinf(cert.certified_ratio));
+}
+
+TEST(Verify, BruteForceOptPath) {
+  EXPECT_EQ(brute_force_opt(path3()), 3);  // vertex 1
+}
+
+TEST(Verify, BruteForceOptEmptyAndStar) {
+  hg::Builder b;
+  b.add_vertices(4, 7);
+  EXPECT_EQ(brute_force_opt(b.build()), 0);
+  const auto star = hg::hyper_star(10, 2, hg::unit_weights(), 0);
+  EXPECT_EQ(brute_force_opt(star), 1);  // the hub
+}
+
+TEST(Verify, BruteForceMatchesGreedyLowerBound) {
+  // OPT is never larger than any valid cover we construct by hand.
+  for (const std::uint64_t seed : {1, 2, 3, 4}) {
+    const auto g = hg::random_uniform(12, 18, 3, hg::uniform_weights(9), seed);
+    const auto opt = brute_force_opt(g);
+    std::vector<bool> all(g.num_vertices(), true);
+    EXPECT_LE(opt, g.weight_of(all));
+    EXPECT_GT(opt, 0);
+  }
+}
+
+TEST(Verify, BruteForceExactOnKnownInstance) {
+  // Weighted triangle: cover must hit all three edges; cheapest pair wins.
+  hg::Builder b;
+  b.add_vertex(10);
+  b.add_vertex(2);
+  b.add_vertex(3);
+  b.add_edge({0, 1});
+  b.add_edge({1, 2});
+  b.add_edge({0, 2});
+  EXPECT_EQ(brute_force_opt(b.build()), 5);  // vertices 1 and 2
+}
+
+}  // namespace
+}  // namespace hypercover::verify
