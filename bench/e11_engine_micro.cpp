@@ -7,6 +7,9 @@
 #include "hypergraph/generators.hpp"
 #include "hypergraph/weights.hpp"
 
+#include <cmath>
+#include <vector>
+
 namespace {
 
 using namespace hypercover;
@@ -64,6 +67,64 @@ void BM_SolveKmwEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveKmwEndToEnd)->Arg(1000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
+
+// Sharded engine scaling: the same MWHVC solve at 1/2/4/8 worker threads.
+// The digest guard makes this double as a correctness check — a parallel
+// run that drifted from the sequential transcript aborts the bench.
+void BM_EngineParallelSolve(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  core::MwhvcOptions opts;
+  opts.eps = 0.5;
+  const std::uint64_t want_digest =
+      core::solve_mwhvc(g, opts).net.transcript_hash;
+  opts.engine.threads = threads;
+  bench::Metrics last;
+  for (auto _ : state) {
+    const auto res = core::solve_mwhvc(g, opts);
+    if (res.net.transcript_hash != want_digest) {
+      throw std::runtime_error("parallel run diverged from sequential digest");
+    }
+    last = bench::metrics_from(g, res, res.iterations);
+  }
+  state.counters["threads"] = threads;
+  state.counters["rounds"] = last.rounds;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.messages));
+}
+BENCHMARK(BM_EngineParallelSolve)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Batch throughput: many independent solves (the eps-sweep workload shape)
+// spread across a worker pool vs drained one by one.
+void BM_BatchSweep(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const auto g =
+      hg::random_uniform(20000, 60000, 3, hg::exponential_weights(12), 7);
+  std::vector<double> epsilons;
+  for (int k = 0; k <= 7; ++k) epsilons.push_back(std::ldexp(1.0, -k));
+  for (auto _ : state) {
+    const auto results = core::solve_mwhvc_sweep(g, epsilons, {}, threads);
+    benchmark::DoNotOptimize(results.back().cover_weight);
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(epsilons.size()));
+}
+BENCHMARK(BM_BatchSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_BruteForceOpt(benchmark::State& state) {
   const auto g = hg::random_uniform(static_cast<std::uint32_t>(state.range(0)),

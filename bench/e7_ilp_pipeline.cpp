@@ -187,6 +187,31 @@ void BM_Pipeline(benchmark::State& state) {
 BENCHMARK(BM_Pipeline)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+// The inner solves of all ILP families are independent MWHVC instances on
+// their reduced hypergraphs — the batch-solver shape. Measures draining
+// them on a worker pool vs one by one.
+void BM_PipelineInnerBatch(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  std::vector<hg::Hypergraph> reduced;
+  for (const auto& fam : families()) {
+    const auto zo = ilp::to_zero_one(ilp::random_covering_ilp(fam.params, fam.seed));
+    reduced.push_back(ilp::zero_one_to_hypergraph(zo.program).graph);
+  }
+  std::vector<core::MwhvcBatchJob> jobs(reduced.size());
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    jobs[i].graph = &reduced[i];
+    jobs[i].opts.eps = 0.5;
+    jobs[i].opts.appendix_c = true;  // footnote 6, as in the pipeline
+  }
+  for (auto _ : state) {
+    const auto results = core::solve_mwhvc_batch(jobs, threads);
+    benchmark::DoNotOptimize(results.back().cover_weight);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_PipelineInnerBatch)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

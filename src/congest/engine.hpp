@@ -24,17 +24,30 @@
 //     };
 //   };
 //
-// Determinism: agents are stepped in id order, message buffers are flat
-// per-link slots, and no other iteration order exists — a protocol run is a
-// pure function of (hypergraph, agent construction).
+// Determinism: message buffers are flat per-link slots written by exactly
+// one sender per round, agents only mutate their own state, and message
+// accounting (bit totals + transcript hash) runs in a single deterministic
+// slot-order pass after all agents of a round have stepped. A protocol run
+// is therefore a pure function of (hypergraph, agent construction) — with
+// any Options::threads value.
+//
+// Parallel execution: within a round every agent reads only the `current`
+// buffers (last round's messages) and writes only its own `next` slots, so
+// vertex and edge agents are mutually independent. The engine partitions
+// both agent classes into contiguous shards balanced by incidence count
+// and steps the shards on a fixed-size thread pool.
 
+#include <algorithm>
 #include <cassert>
 #include <concepts>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
 #include "congest/stats.hpp"
+#include "congest/thread_pool.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "util/math.hpp"
 
@@ -161,6 +174,12 @@ class Engine {
     to_edge_.resize(graph.num_incidences());
     to_vertex_.resize(graph.num_incidences());
     build_slot_bases();
+    const unsigned threads = ThreadPool::resolve(options_.threads);
+    if (threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+      vertex_shards_ = balanced_shards(vertex_slot_base_, threads);
+      edge_shards_ = balanced_shards(edge_slot_base_, threads);
+    }
     const std::uint64_t network_size =
         std::uint64_t{graph.num_vertices()} + graph.num_edges();
     stats_.bandwidth_limit_bits =
@@ -200,19 +219,24 @@ class Engine {
   /// Executes exactly one synchronous round (exposed for lock-step tests).
   void step_round() {
     if (options_.keep_round_stats) stats_.per_round.emplace_back();
-    for (hg::VertexId v = 0; v < graph_->num_vertices(); ++v) {
-      if (vertex_agents_[v].halted()) continue;
-      VertexCtx ctx(this, v);
-      vertex_agents_[v].step(ctx);
+    if (pool_) {
+      pool_->run([this](unsigned shard) {
+        step_vertex_range(vertex_shards_[shard], vertex_shards_[shard + 1]);
+        step_edge_range(edge_shards_[shard], edge_shards_[shard + 1]);
+      });
+    } else {
+      step_vertex_range(0, graph_->num_vertices());
+      step_edge_range(0, graph_->num_edges());
     }
-    for (hg::EdgeId e = 0; e < graph_->num_edges(); ++e) {
-      if (edge_agents_[e].halted()) continue;
-      EdgeCtx ctx(this, e);
-      edge_agents_[e].step(ctx);
-    }
+    account_round();
     to_edge_.swap_and_clear();
     to_vertex_.swap_and_clear();
     ++round_;
+  }
+
+  /// Worker threads actually stepping agents (1 when sequential).
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return pool_ ? pool_->size() : 1;
   }
 
   [[nodiscard]] bool all_halted() const {
@@ -268,12 +292,43 @@ class Engine {
     }
   }
 
+  void step_vertex_range(hg::VertexId begin, hg::VertexId end) {
+    for (hg::VertexId v = begin; v < end; ++v) {
+      if (vertex_agents_[v].halted()) continue;
+      VertexCtx ctx(this, v);
+      vertex_agents_[v].step(ctx);
+    }
+  }
+
+  void step_edge_range(hg::EdgeId begin, hg::EdgeId end) {
+    for (hg::EdgeId e = begin; e < end; ++e) {
+      if (edge_agents_[e].halted()) continue;
+      EdgeCtx ctx(this, e);
+      edge_agents_[e].step(ctx);
+    }
+  }
+
+  /// Contiguous shard boundaries over [0, count) balanced by incidence
+  /// weight, computed from a CSR base array of size count + 1.
+  static std::vector<std::uint32_t> balanced_shards(
+      const std::vector<std::size_t>& base, unsigned shards) {
+    const auto count = static_cast<std::uint32_t>(base.size() - 1);
+    std::vector<std::uint32_t> bounds(shards + 1, count);
+    bounds[0] = 0;
+    for (unsigned s = 1; s < shards; ++s) {
+      const std::size_t target = base.back() * s / shards;
+      const auto it = std::lower_bound(base.begin(), base.end(), target);
+      const auto id = static_cast<std::uint32_t>(it - base.begin());
+      bounds[s] = std::clamp(id, bounds[s - 1], count);
+    }
+    return bounds;
+  }
+
   void send_to_edge(hg::VertexId v, std::uint32_t local, const VertexMsg& msg) {
     const std::size_t slot = v_send_slot_[vertex_slot_base_[v] + local];
     assert(!to_edge_.next_present[slot] && "one message per link per round");
     to_edge_.next[slot] = msg;
     to_edge_.next_present[slot] = 1;
-    account(msg.bit_size(), slot * 2);
   }
 
   void send_to_vertex(hg::EdgeId e, std::uint32_t local, const EdgeMsg& msg) {
@@ -281,7 +336,37 @@ class Engine {
     assert(!to_vertex_.next_present[slot] && "one message per link per round");
     to_vertex_.next[slot] = msg;
     to_vertex_.next_present[slot] = 1;
-    account(msg.bit_size(), slot * 2 + 1);
+  }
+
+  /// Folds this round's outgoing messages into the statistics in ascending
+  /// slot order (edge-bound then vertex-bound). Runs single-threaded after
+  /// the agents step, so totals and the transcript hash never depend on
+  /// agent scheduling. Present flags are scanned eight at a time so that
+  /// sparse late rounds (most agents halted) cost memory bandwidth, not a
+  /// branch per link.
+  template <class M>
+  void account_links(const detail::LinkBuffer<M>& buf, std::uint64_t key_bit) {
+    const std::size_t links = graph_->num_incidences();
+    const std::uint8_t* present = buf.next_present.data();
+    std::size_t slot = 0;
+    for (; slot + 8 <= links; slot += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, present + slot, 8);
+      if (word == 0) continue;
+      for (std::size_t k = 0; k < 8; ++k) {
+        if (present[slot + k]) {
+          account(buf.next[slot + k].bit_size(), (slot + k) * 2 + key_bit);
+        }
+      }
+    }
+    for (; slot < links; ++slot) {
+      if (present[slot]) account(buf.next[slot].bit_size(), slot * 2 + key_bit);
+    }
+  }
+
+  void account_round() {
+    account_links(to_edge_, 0);
+    account_links(to_vertex_, 1);
   }
 
   void account(std::uint32_t bits, std::uint64_t slot_key) {
@@ -312,6 +397,9 @@ class Engine {
   std::vector<std::size_t> edge_slot_base_;    // size m+1
   std::vector<std::size_t> v_send_slot_;       // (v,k) -> edge-side slot
   std::vector<std::size_t> e_send_slot_;       // (e,j) -> vertex-side slot
+  std::unique_ptr<ThreadPool> pool_;           // null when threads == 1
+  std::vector<std::uint32_t> vertex_shards_;   // shard bounds, size workers+1
+  std::vector<std::uint32_t> edge_shards_;
 };
 
 }  // namespace hypercover::congest

@@ -49,6 +49,12 @@ struct Options {
   std::uint32_t bandwidth_factor = 4;
   /// Retain per-round message statistics (costs memory on long runs).
   bool keep_round_stats = false;
+  /// Worker threads used to step agents inside a round. 1 = sequential,
+  /// 0 = one per hardware thread. Any value produces bit-identical runs:
+  /// agents only touch their own state plus per-link slots, and message
+  /// accounting happens in a deterministic slot-order pass after the
+  /// agents step, so the transcript hash is independent of scheduling.
+  std::uint32_t threads = 1;
 };
 
 }  // namespace hypercover::congest

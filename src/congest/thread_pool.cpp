@@ -1,0 +1,80 @@
+#include "congest/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hypercover::congest {
+
+ThreadPool::ThreadPool(unsigned workers)
+    : size_(std::max(1u, workers)), errors_(size_) {
+  threads_.reserve(size_ - 1);
+  for (unsigned i = 1; i < size_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& job) {
+  if (size_ == 1) {
+    job(0);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    job_ = &job;
+    pending_ = size_ - 1;
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  try {
+    job(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (auto& err : errors_) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      errors_[index] = std::current_exception();
+    }
+    {
+      std::lock_guard lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+unsigned ThreadPool::resolve(std::uint32_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace hypercover::congest

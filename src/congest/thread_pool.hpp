@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-size worker pool shared by the sharded CONGEST engine and the
+// batch solver APIs.
+//
+// The pool is built once and reused across rounds: dispatching a job is a
+// mutex + condition-variable handshake, not a thread spawn, so per-round
+// overhead stays in the microsecond range. The calling thread participates
+// as worker 0, which keeps a 1-thread pool free of any synchronization.
+//
+// Exceptions thrown by a job are captured per worker and the first one (in
+// worker order) is rethrown on the calling thread after all workers finish,
+// so a failing shard cannot leave the pool in a torn state.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace hypercover::congest {
+
+class ThreadPool {
+ public:
+  /// Total worker count, including the calling thread. Values < 1 are
+  /// clamped to 1; a 1-worker pool runs jobs inline.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs job(worker_index) once per worker, concurrently, and blocks
+  /// until every worker finished. The calling thread runs index 0.
+  /// Rethrows the first worker exception (by worker index) after the
+  /// barrier. Not reentrant: jobs must not call run() on the same pool.
+  void run(const std::function<void(unsigned)>& job);
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// 0 means "use the hardware": returns max(hardware_concurrency(), 1).
+  [[nodiscard]] static unsigned resolve(std::uint32_t requested) noexcept;
+
+ private:
+  void worker_loop(unsigned index);
+
+  unsigned size_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace hypercover::congest

@@ -1,11 +1,13 @@
 #include "core/mwhvc.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "congest/engine.hpp"
+#include "congest/thread_pool.hpp"
 
 namespace hypercover::core {
 
@@ -179,18 +181,69 @@ MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
 
   res.levels.resize(g.num_vertices());
   for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-    res.levels[v] = eng.vertex_agent(v).level();
-    if (eng.vertex_agent(v).in_cover()) {
+    const auto& va = eng.vertex_agent(v);
+    res.levels[v] = va.level();
+    if (va.in_cover()) {
       res.in_cover[v] = true;
       res.cover_weight += g.weight(v);
     }
+    // Trace scalars are folded out of per-agent counters here rather than
+    // mutated inside steps, so they are exact under the parallel engine.
+    trace.stuck_events += va.stuck_count();
+    trace.max_level = std::max(trace.max_level, va.traced_max_level());
+    trace.max_level_incr_per_iter =
+        std::max(trace.max_level_incr_per_iter, va.max_incr_per_iter());
   }
   for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
     res.duals[e] = eng.edge_agent(e).dual();
     res.dual_total += res.duals[e];
+    trace.raise_events += eng.edge_agent(e).raises();
   }
   res.trace = std::move(trace);
   return res;
+}
+
+std::vector<MwhvcResult> solve_mwhvc_batch(std::span<const MwhvcBatchJob> jobs,
+                                           std::uint32_t threads) {
+  std::vector<MwhvcResult> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+  const unsigned workers = std::min<std::size_t>(
+      resolve_thread_count(threads), std::max<std::size_t>(jobs.size(), 1));
+  congest::ThreadPool pool(workers);
+  std::atomic<std::size_t> cursor{0};
+  pool.run([&](unsigned) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        if (jobs[i].graph == nullptr) {
+          throw std::invalid_argument("solve_mwhvc_batch: null graph");
+        }
+        MwhvcOptions opts = jobs[i].opts;
+        opts.engine.threads = 1;  // parallelism is across jobs
+        results[i] = solve_mwhvc(*jobs[i].graph, opts);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  });
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return results;
+}
+
+std::vector<MwhvcResult> solve_mwhvc_sweep(const hg::Hypergraph& g,
+                                           std::span<const double> epsilons,
+                                           const MwhvcOptions& base,
+                                           std::uint32_t threads) {
+  std::vector<MwhvcBatchJob> jobs(epsilons.size());
+  for (std::size_t i = 0; i < epsilons.size(); ++i) {
+    jobs[i].graph = &g;
+    jobs[i].opts = base;
+    jobs[i].opts.eps = epsilons[i];
+  }
+  return solve_mwhvc_batch(jobs, threads);
 }
 
 double f_approx_epsilon(const hg::Hypergraph& g) {

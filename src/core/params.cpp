@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "congest/thread_pool.hpp"
 #include "util/math.hpp"
 
 namespace hypercover::core {
@@ -69,6 +70,10 @@ IterationBudget theorem8_budget(std::uint32_t f, double eps,
   const double per_level = appendix_c_variant ? 2.0 * alpha : alpha;
   b.stuck_budget = static_cast<double>(f) * z * per_level;
   return b;
+}
+
+std::uint32_t resolve_thread_count(std::uint32_t requested) noexcept {
+  return congest::ThreadPool::resolve(requested);
 }
 
 }  // namespace hypercover::core

@@ -101,8 +101,11 @@ struct EdgeToVertexMsg {
 // Shared run configuration and instrumentation sink.
 // ---------------------------------------------------------------------------
 
-/// Optional per-run instrumentation. All counters are exact; the vectors
-/// are sized by the driver when tracing is enabled.
+/// Optional per-run instrumentation. All counters are exact. The vectors
+/// are sized by the driver when tracing is enabled; agents write only
+/// their own disjoint slots, so tracing is safe under the parallel engine.
+/// The scalar aggregates are folded out of per-agent counters by the
+/// driver after the run (solve_mwhvc), never mutated inside a step.
 struct Trace {
   bool enabled = false;
   std::uint64_t raise_events = 0;        // edge bid multiplied by alpha
@@ -206,6 +209,18 @@ class MwhvcVertexAgent {
   [[nodiscard]] std::uint32_t active_edges() const noexcept {
     return active_count_;
   }
+  /// Iterations this vertex reported "stuck" (Trace::stuck_events share).
+  [[nodiscard]] std::uint64_t stuck_count() const noexcept {
+    return stuck_count_;
+  }
+  /// Highest level reached while still below z (Trace::max_level share).
+  [[nodiscard]] std::uint32_t traced_max_level() const noexcept {
+    return traced_max_level_;
+  }
+  /// Most level increments in one iteration (Corollary 21 check).
+  [[nodiscard]] std::uint32_t max_incr_per_iter() const noexcept {
+    return max_incr_per_iter_;
+  }
 
  private:
   // Phase A: fold Result/InitReply, beta-tightness (3a), levels (3d),
@@ -242,10 +257,8 @@ class MwhvcVertexAgent {
       join_cover(ctx);
       return;
     }
-    if (Trace* t = cfg_->trace) {
-      if (incr > t->max_level_incr_per_iter) t->max_level_incr_per_iter = incr;
-      if (level_ > t->max_level) t->max_level = level_;
-    }
+    if (incr > max_incr_per_iter_) max_incr_per_iter_ = incr;
+    if (level_ > traced_max_level_) traced_max_level_ = level_;
     // Halve the local copies now; the edge applies the same halvings in
     // phase B, plus those requested by sibling vertices (folded in phase C).
     if (incr > 0) {
@@ -291,9 +304,9 @@ class MwhvcVertexAgent {
         std::ldexp(weight_, -(int(level_) + 1)) / alpha_max_;
     const bool raise = active_bid_sum() <= threshold;
     if (!raise) {
-      if (Trace* t = cfg_->trace) {
-        ++t->stuck_events;
-        if (t->enabled) ++t->stuck_per_level[std::size_t{id_} * t->z + level_];
+      ++stuck_count_;
+      if (Trace* t = cfg_->trace; t != nullptr && t->enabled) {
+        ++t->stuck_per_level[std::size_t{id_} * t->z + level_];
       }
     }
     VertexToEdgeMsg msg;
@@ -349,6 +362,9 @@ class MwhvcVertexAgent {
   std::uint32_t active_count_ = 0;
   double alpha_max_ = 2.0;
   std::uint32_t pending_incr_ = 0;  // own halvings already applied locally
+  std::uint64_t stuck_count_ = 0;
+  std::uint32_t traced_max_level_ = 0;
+  std::uint32_t max_incr_per_iter_ = 0;
   bool in_cover_ = false;
   bool halted_ = false;
 };
@@ -463,9 +479,8 @@ class MwhvcEdgeAgent {
     if (all_raise) {
       bid_ *= alpha_;
       ++raises_;
-      if (Trace* t = cfg_->trace) {
-        ++t->raise_events;
-        if (t->enabled) ++t->edge_raises[id_];
+      if (Trace* t = cfg_->trace; t != nullptr && t->enabled) {
+        ++t->edge_raises[id_];
       }
     }
     delta_ += cfg_->appendix_c ? 0.5 * bid_ : bid_;

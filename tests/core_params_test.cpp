@@ -18,10 +18,10 @@ TEST(Params, BetaFormula) {
 }
 
 TEST(Params, BetaValidation) {
-  EXPECT_THROW(beta_for(0, 0.5), std::invalid_argument);
-  EXPECT_THROW(beta_for(2, 0.0), std::invalid_argument);
-  EXPECT_THROW(beta_for(2, 1.5), std::invalid_argument);
-  EXPECT_THROW(beta_for(2, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)beta_for(0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)beta_for(2, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)beta_for(2, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)beta_for(2, -0.1), std::invalid_argument);
 }
 
 TEST(Params, LevelCapMatchesCeilLog) {
@@ -64,8 +64,8 @@ TEST(Params, AlphaFallsBackToTwoWhenTermSmall) {
 }
 
 TEST(Params, AlphaValidation) {
-  EXPECT_THROW(theorem9_alpha(2, 0.5, 8, 0.0), std::invalid_argument);
-  EXPECT_THROW(theorem9_alpha(0, 0.5, 8, 0.001), std::invalid_argument);
+  EXPECT_THROW((void)theorem9_alpha(2, 0.5, 8, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)theorem9_alpha(0, 0.5, 8, 0.001), std::invalid_argument);
 }
 
 TEST(Params, Theorem8BudgetComposition) {

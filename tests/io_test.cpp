@@ -1,0 +1,126 @@
+// Round-trip tests for the plain-text hypergraph serialization: write ->
+// read must reproduce the exact structure (weights, incidence lists in
+// order, derived rank/degree), comments and whitespace are tolerated, and
+// malformed inputs fail with descriptive errors instead of bad graphs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hypergraph/generators.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/weights.hpp"
+
+namespace hypercover::hg {
+namespace {
+
+void expect_structurally_equal(const Hypergraph& a, const Hypergraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_incidences(), b.num_incidences());
+  EXPECT_EQ(a.rank(), b.rank());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.weight(v), b.weight(v)) << "vertex " << v;
+    const auto ea = a.edges_of(v), eb = b.edges_of(v);
+    ASSERT_EQ(ea.size(), eb.size()) << "vertex " << v;
+    for (std::size_t k = 0; k < ea.size(); ++k) EXPECT_EQ(ea[k], eb[k]);
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto va = a.vertices_of(e), vb = b.vertices_of(e);
+    ASSERT_EQ(va.size(), vb.size()) << "edge " << e;
+    for (std::size_t j = 0; j < va.size(); ++j) EXPECT_EQ(va[j], vb[j]);
+  }
+}
+
+TEST(HypergraphIo, RoundTripsGeneratorFamilies) {
+  const Hypergraph graphs[] = {
+      random_uniform(80, 160, 3, exponential_weights(12), 7),
+      random_bounded_degree(100, 150, 4, 6, uniform_weights(999), 8),
+      hyper_star(25, 3, uniform_weights(17), 9),
+      cycle(12, bimodal_weights(1000), 10),
+      random_set_cover(40, 90, 3, uniform_weights(64), 11),
+      grid(7, 9, unit_weights(), 12),
+  };
+  for (const auto& g : graphs) {
+    const auto round_tripped = from_text(to_text(g));
+    expect_structurally_equal(g, round_tripped);
+    // A second trip is byte-stable: the format has one canonical rendering.
+    EXPECT_EQ(to_text(g), to_text(round_tripped));
+  }
+}
+
+TEST(HypergraphIo, RoundTripsEdgeCases) {
+  {
+    Builder b;  // vertices but no edges (isolated vertices must survive)
+    b.add_vertices(5, 3);
+    const auto g = b.build();
+    const auto rt = from_text(to_text(g));
+    expect_structurally_equal(g, rt);
+    EXPECT_EQ(rt.num_edges(), 0u);
+  }
+  {
+    const auto g = from_text("hypergraph 0 0\n");  // empty graph
+    EXPECT_EQ(g.num_vertices(), 0u);
+    EXPECT_EQ(g.num_edges(), 0u);
+  }
+  {
+    Builder b;  // weights at the top of the supported range
+    b.add_vertex(1);
+    b.add_vertex(Weight{1} << 40);
+    b.add_edge({0, 1});
+    const auto rt = from_text(to_text(b.build()));
+    EXPECT_EQ(rt.weight(1), Weight{1} << 40);
+  }
+}
+
+TEST(HypergraphIo, StreamInterfaceMatchesStringInterface) {
+  const auto g = random_uniform(30, 60, 3, uniform_weights(9), 13);
+  std::ostringstream os;
+  write_text(os, g);
+  EXPECT_EQ(os.str(), to_text(g));
+  std::istringstream is(os.str());
+  expect_structurally_equal(g, read_text(is));
+}
+
+TEST(HypergraphIo, SkipsCommentsAndToleratesWhitespace) {
+  const std::string text =
+      "# generated instance\n"
+      "hypergraph 3 2   # n m\n"
+      "  5 6 7\n"
+      "# edges follow\n"
+      "2 0 1\n"
+      "2\t1 2\n";
+  const auto g = from_text(text);
+  ASSERT_EQ(g.num_vertices(), 3u);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.weight(0), 5);
+  EXPECT_EQ(g.weight(2), 7);
+  EXPECT_EQ(g.vertices_of(1)[0], 1u);
+  EXPECT_EQ(g.vertices_of(1)[1], 2u);
+}
+
+TEST(HypergraphIo, RejectsMalformedInput) {
+  // Missing header keyword.
+  EXPECT_THROW((void)from_text("3 2\n1 1 1\n"), std::runtime_error);
+  // Truncated weight list.
+  EXPECT_THROW((void)from_text("hypergraph 3 0\n1 2\n"), std::runtime_error);
+  // Non-integer token.
+  EXPECT_THROW((void)from_text("hypergraph 2 0\n1 abc\n"), std::runtime_error);
+  // Negative sizes.
+  EXPECT_THROW((void)from_text("hypergraph -1 0\n"), std::runtime_error);
+  // Edge size <= 0.
+  EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n0\n"), std::runtime_error);
+  // Member out of range.
+  EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 5\n"),
+               std::runtime_error);
+  // Builder-level validation still applies: duplicate members.
+  EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 0\n"),
+               std::invalid_argument);
+  // Non-positive weight (paper requires w : V -> N+).
+  EXPECT_THROW((void)from_text("hypergraph 1 0\n0\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hypercover::hg
