@@ -15,6 +15,7 @@
 
 #include "baselines/kmw.hpp"
 #include "baselines/kvy.hpp"
+#include "congest/stats.hpp"
 #include "core/mwhvc.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "util/table.hpp"
@@ -81,6 +82,21 @@ inline Metrics run_kvy(const hg::Hypergraph& g, double eps) {
   opts.eps = eps;
   const auto res = baselines::solve_kvy(g, opts);
   return metrics_from(g, res, res.iterations);
+}
+
+/// Attaches the engine's activity counters to a benchmark point so the
+/// JSON export (scripts/bench_json.py -> BENCH_engine.json) records the
+/// scheduler's work — items visited, slots touched, sparse vs dense
+/// accounting passes — alongside the wall-clock numbers.
+inline void set_activity_counters(benchmark::State& state,
+                                  const congest::RunStats& net) {
+  state.counters["agents_visited"] = static_cast<double>(net.agents_visited);
+  state.counters["agent_steps"] = static_cast<double>(net.agent_steps);
+  state.counters["slots_processed"] = static_cast<double>(net.slots_processed);
+  state.counters["sparse_passes"] =
+      static_cast<double>(net.sparse_account_passes);
+  state.counters["dense_passes"] =
+      static_cast<double>(net.dense_account_passes);
 }
 
 /// Prints the experiment banner + table and forwards to google-benchmark.

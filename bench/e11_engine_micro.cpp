@@ -1,12 +1,19 @@
 // E11 — engineering micro-benchmarks (not a paper experiment): simulator
-// throughput per round and per link, generator cost, and end-to-end solve
-// wall time. These size the substrate, so regressions in the engine are
+// throughput per round and per link, generator cost, end-to-end solve wall
+// time, and the sparse-regime activity benchmarks that gate the frontier
+// scheduler. These size the substrate, so regressions in the engine are
 // visible independently of the algorithmic experiments.
+//
+// The *DigestGuard* benches double as correctness checks: every timed run
+// is compared against the reference (dense-scheduling, sequential)
+// transcript hash and aborts on drift, so the activity-driven engine can
+// never silently change protocol semantics while looking fast.
 
 #include "bench/common.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/weights.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -88,6 +95,7 @@ void BM_EngineParallelSolve(benchmark::State& state) {
       throw std::runtime_error("parallel run diverged from sequential digest");
     }
     last = bench::metrics_from(g, res, res.iterations);
+    bench::set_activity_counters(state, res.net);
   }
   state.counters["threads"] = threads;
   state.counters["rounds"] = last.rounds;
@@ -101,6 +109,124 @@ BENCHMARK(BM_EngineParallelSolve)
     ->Args({100000, 8})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Full-solve A/B of the scheduling modes with a digest guard: range(1)
+// selects kDense (0, the pre-frontier reference path) or kActive (1).
+// Both must produce the reference transcript hash.
+void BM_SchedulingDigestGuard(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const bool active = state.range(1) != 0;
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  core::MwhvcOptions opts;
+  opts.eps = 0.5;
+  opts.engine.scheduling = congest::Scheduling::kDense;
+  const std::uint64_t want_digest =
+      core::solve_mwhvc(g, opts).net.transcript_hash;
+  opts.engine.scheduling =
+      active ? congest::Scheduling::kActive : congest::Scheduling::kDense;
+  core::MwhvcResult last;
+  for (auto _ : state) {
+    last = core::solve_mwhvc(g, opts);
+    if (last.net.transcript_hash != want_digest) {
+      throw std::runtime_error(
+          "scheduling mode diverged from the reference digest");
+    }
+  }
+  state.counters["active"] = active;
+  state.counters["rounds"] = last.net.rounds;
+  bench::set_activity_counters(state, last.net);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.net.total_messages));
+}
+BENCHMARK(BM_SchedulingDigestGuard)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Sparse-regime tail: advance a solve (untimed) until >90% of the agents
+// have halted, then time only the remaining rounds. Under kDense every
+// tail round still sweeps all agents and memsets both full mailbox
+// arrays; under kActive it touches only the live frontier and the dirty
+// slots, so per-round items drop by orders of magnitude. The acceptance
+// bar for the frontier engine is >= 5x fewer items per tail round at the
+// 100k-vertex instance. Manual timing; digest-guarded end to end.
+void BM_SparseTailRoundsDigestGuard(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const bool active = state.range(1) != 0;
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  const std::size_t agents = std::size_t{g.num_vertices()} + g.num_edges();
+  core::MwhvcOptions opts;
+  opts.eps = 0.5;
+
+  // Find the tail via an active-scheduling dry run: the round where live
+  // agents first drop below 10%, and the reference digest. The halting
+  // schedule is mode-independent (transcripts are bit-identical), so the
+  // same tail start is valid for the dense run.
+  std::uint32_t tail_start = 0, total_rounds = 0;
+  std::uint64_t want_digest = 0;
+  {
+    core::MwhvcRun probe(g, opts);
+    while (!probe.done() && probe.rounds() < opts.engine.max_rounds) {
+      probe.step_round();
+      if (tail_start == 0 && probe.live_agents() * 10 < agents) {
+        tail_start = probe.rounds();
+      }
+    }
+    total_rounds = probe.rounds();
+    want_digest = probe.stats().transcript_hash;
+    if (tail_start == 0 || tail_start + 2 > total_rounds) {
+      tail_start = total_rounds > 4 ? total_rounds - 4 : 0;
+    }
+  }
+
+  opts.engine.scheduling =
+      active ? congest::Scheduling::kActive : congest::Scheduling::kDense;
+  double tail_rounds = 0, tail_items = 0, tail_steps = 0;
+  for (auto _ : state) {
+    core::MwhvcRun run(g, opts);
+    for (std::uint32_t r = 0; r < tail_start; ++r) run.step_round();
+    const auto& pre = run.stats();
+    const double items_before =
+        static_cast<double>(pre.agents_visited + pre.slots_processed);
+    const double steps_before = static_cast<double>(pre.agent_steps);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!run.done() && run.rounds() < opts.engine.max_rounds) {
+      run.step_round();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto& post = run.stats();
+    if (post.transcript_hash != want_digest) {
+      throw std::runtime_error("tail run diverged from the reference digest");
+    }
+    tail_rounds = run.rounds() - tail_start;
+    tail_items = static_cast<double>(post.agents_visited +
+                                     post.slots_processed) -
+                 items_before;
+    tail_steps = static_cast<double>(post.agent_steps) - steps_before;
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+  }
+  state.counters["active"] = active;
+  state.counters["tail_rounds"] = tail_rounds;
+  state.counters["items_per_round"] =
+      tail_rounds > 0 ? tail_items / tail_rounds : 0;
+  state.counters["steps_per_round"] =
+      tail_rounds > 0 ? tail_steps / tail_rounds : 0;
+  state.counters["links"] = static_cast<double>(g.num_incidences());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tail_items));
+}
+BENCHMARK(BM_SparseTailRoundsDigestGuard)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
 
 // Batch throughput: many independent solves (the eps-sweep workload shape)
 // spread across a worker pool vs drained one by one.

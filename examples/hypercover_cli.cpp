@@ -4,16 +4,23 @@
 //
 //   ./hypercover_cli --input=instance.hg [--algo=mwhvc|kmw|kvy|greedy|
 //       local-ratio] [--eps=0.5] [--appendix-c] [--alpha=<fixed>]
-//       [--threads=1] [--f-approx] [--quiet] [--cover-only]
+//       [--threads=1] [--dense] [--f-approx] [--quiet] [--cover-only]
+//       [--stats-json[=path]]
 //
 // --threads=N steps agents on N workers (0 = one per hardware thread);
-// the run is bit-identical at any value.
+// the run is bit-identical at any value. --dense forces the reference
+// dense engine schedule (for A/B comparisons; also bit-identical).
+// --stats-json dumps a machine-readable RunStats record (rounds, bits,
+// messages, transcript hash, engine work counters, wall time) to stdout,
+// or to a file when given a path — the scripted perf-tracking hook.
 //
 // Exit code 0 on success (cover verified), 2 on verification failure,
 // 1 on usage/input errors.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "baselines/kmw.hpp"
 #include "baselines/kvy.hpp"
@@ -27,6 +34,40 @@
 namespace {
 
 using namespace hypercover;
+
+/// Renders the run record as a single JSON object. The transcript hash is
+/// emitted as a hex string: JSON numbers lose 64-bit integer precision.
+std::string stats_json(const std::string& algo, const congest::RunStats& net,
+                       std::uint32_t threads, bool dense, double wall_ms,
+                       const verify::Certificate& cert,
+                       std::size_t cover_size) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"algo\": \"" << algo << "\",\n";
+  os << "  \"threads\": " << threads << ",\n";
+  os << "  \"scheduling\": \"" << (dense ? "dense" : "active") << "\",\n";
+  os << "  \"rounds\": " << net.rounds << ",\n";
+  os << "  \"completed\": " << (net.completed ? "true" : "false") << ",\n";
+  os << "  \"total_messages\": " << net.total_messages << ",\n";
+  os << "  \"total_bits\": " << net.total_bits << ",\n";
+  os << "  \"max_message_bits\": " << net.max_message_bits << ",\n";
+  os << "  \"bandwidth_limit_bits\": " << net.bandwidth_limit_bits << ",\n";
+  os << "  \"bandwidth_violations\": " << net.bandwidth_violations << ",\n";
+  os << "  \"transcript_hash\": \"0x" << std::hex << net.transcript_hash
+     << std::dec << "\",\n";
+  os << "  \"agents_visited\": " << net.agents_visited << ",\n";
+  os << "  \"agent_steps\": " << net.agent_steps << ",\n";
+  os << "  \"slots_processed\": " << net.slots_processed << ",\n";
+  os << "  \"sparse_account_passes\": " << net.sparse_account_passes << ",\n";
+  os << "  \"dense_account_passes\": " << net.dense_account_passes << ",\n";
+  os << "  \"cover_weight\": " << cert.cover_weight << ",\n";
+  os << "  \"cover_size\": " << cover_size << ",\n";
+  os << "  \"dual_total\": " << cert.dual_total << ",\n";
+  os << "  \"certified_ratio\": " << cert.certified_ratio << ",\n";
+  os << "  \"wall_ms\": " << wall_ms << "\n";
+  os << "}\n";
+  return os.str();
+}
 
 int run(const util::Cli& cli) {
   hg::Hypergraph g;
@@ -53,10 +94,15 @@ int run(const util::Cli& cli) {
     return 1;
   }
   const auto threads = static_cast<std::uint32_t>(threads_arg);
+  const bool dense = cli.has("dense");
+  const auto scheduling =
+      dense ? congest::Scheduling::kDense : congest::Scheduling::kActive;
 
   std::vector<bool> cover;
   std::vector<double> duals(g.num_edges(), 0.0);
   std::uint32_t rounds = 0;
+  congest::RunStats net;
+  const auto wall_start = std::chrono::steady_clock::now();
   if (algo == "mwhvc") {
     core::MwhvcOptions o;
     o.eps = eps;
@@ -66,27 +112,33 @@ int run(const util::Cli& cli) {
       o.alpha_fixed = cli.get("alpha", 2.0);
     }
     o.engine.threads = threads;
+    o.engine.scheduling = scheduling;
     const auto res = core::solve_mwhvc(g, o);
     cover = res.in_cover;
     duals = res.duals;
     rounds = res.net.rounds;
+    net = res.net;
     if (!quiet) std::cerr << "network: " << res.net << "\n";
   } else if (algo == "kmw") {
     baselines::KmwOptions o;
     o.eps = eps;
     o.engine.threads = threads;
+    o.engine.scheduling = scheduling;
     const auto res = baselines::solve_kmw(g, o);
     cover = res.in_cover;
     duals = res.duals;
     rounds = res.net.rounds;
+    net = res.net;
   } else if (algo == "kvy") {
     baselines::KvyOptions o;
     o.eps = eps;
     o.engine.threads = threads;
+    o.engine.scheduling = scheduling;
     const auto res = baselines::solve_kvy(g, o);
     cover = res.in_cover;
     duals = res.duals;
     rounds = res.net.rounds;
+    net = res.net;
   } else if (algo == "greedy") {
     if (cli.has("threads") && threads != 1) {
       std::cerr << "note: --threads ignored by the sequential greedy solver\n";
@@ -105,10 +157,38 @@ int run(const util::Cli& cli) {
     return 1;
   }
 
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
   const auto cert = verify::certify(g, cover, duals);
   if (!cert.cover_valid) {
     std::cerr << "VERIFICATION FAILED: " << cert.error << "\n";
     return 2;
+  }
+  bool json_on_stdout = false;
+  if (cli.has("stats-json")) {
+    std::size_t cover_size = 0;
+    for (const bool b : cover) cover_size += b;
+    const std::string json =
+        stats_json(algo, net, threads, dense, wall_ms, cert, cover_size);
+    const std::string path = cli.get("stats-json", std::string("-"));
+    // A bare --stats-json (no =path) parses as "1": dump to stdout, and
+    // suppress the human-readable block below so stdout stays parseable
+    // (--cover-only still appends its vertex list).
+    if (path == "-" || path == "1" || path.empty()) {
+      std::cout << json;
+      json_on_stdout = true;
+    } else {
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+      }
+      out << json;
+      if (!quiet) std::cerr << "stats written to " << path << "\n";
+    }
   }
   if (cli.has("cover-only")) {
     for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -116,6 +196,7 @@ int run(const util::Cli& cli) {
     }
     return 0;
   }
+  if (json_on_stdout) return 0;
   std::cout << "algorithm: " << algo << "\n";
   std::cout << "cover_weight: " << cert.cover_weight << "\n";
   std::cout << "cover_size: ";

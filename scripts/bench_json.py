@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Fold engine benchmark results into the top-level BENCH_engine.json.
+
+Runs the engine micro-benchmark binary with --benchmark_format=json and
+appends a labelled run record to BENCH_engine.json, keeping earlier runs so
+the file is a perf *trajectory*: the dense-scheduling points (benchmark
+names ending in /0) exercise the pre-frontier reference engine and serve
+as the baseline the activity-driven points (/1) must beat.
+
+Usage (or just `cmake --build build --target bench_json`):
+  scripts/bench_json.py --bench build/bench_e11_engine_micro \
+      [--out BENCH_engine.json] [--label "..."] \
+      [--filter DigestGuard] [--min-time 0.05] [--keep 8]
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run_bench(bench, bench_filter, min_time):
+    cmd = [
+        bench,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def summarize(raw):
+    """Keep the fields perf tracking needs; drop aggregate noise."""
+    points = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        point = {
+            "name": b["name"],
+            "real_time": b.get("real_time"),
+            "cpu_time": b.get("cpu_time"),
+            "time_unit": b.get("time_unit"),
+            "iterations": b.get("iterations"),
+        }
+        for key, value in b.items():
+            if key in ("items_per_second", "active", "rounds", "threads",
+                       "tail_rounds", "items_per_round", "steps_per_round",
+                       "links", "agents_visited", "agent_steps",
+                       "slots_processed", "sparse_passes", "dense_passes"):
+                point[key] = value
+        points.append(point)
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_e11_engine_micro binary")
+    ap.add_argument("--out", default="BENCH_engine.json")
+    ap.add_argument("--label", default="",
+                    help="free-form label for this run (e.g. a commit subject)")
+    ap.add_argument("--filter", default="DigestGuard",
+                    help="benchmark name filter (digest-guarded engine benches)")
+    ap.add_argument("--min-time", default="0.05",
+                    help="--benchmark_min_time passed through (seconds)")
+    ap.add_argument("--keep", type=int, default=8,
+                    help="maximum history entries to retain in --out")
+    args = ap.parse_args()
+
+    raw = run_bench(args.bench, args.filter, args.min_time)
+
+    out = pathlib.Path(args.out)
+    doc = {"note": "", "runs": []}
+    if out.exists():
+        try:
+            doc = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {out} was not valid JSON; starting fresh",
+                  file=sys.stderr)
+    doc["note"] = (
+        "Engine perf trajectory. Benchmarks named .../0 run the dense "
+        "reference schedule (pre-frontier baseline); .../1 run the "
+        "activity-driven engine. items_per_round on the SparseTail benches "
+        "is the acceptance metric: active must stay >= 5x below dense.")
+
+    context = raw.get("context", {})
+    run_record = {
+        "label": args.label,
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "benchmarks": summarize(raw),
+    }
+    doc.setdefault("runs", []).append(run_record)
+    doc["runs"] = doc["runs"][-args.keep:]
+
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out} ({len(run_record['benchmarks'])} points, "
+          f"{len(doc['runs'])} runs kept)", file=sys.stderr)
+
+    # Gate: on any SparseTail pair present in this run, active must process
+    # >= 5x fewer items per round than dense. A failure exits non-zero so
+    # CI or a pre-merge hook can catch a frontier regression.
+    tails = {}
+    for p in run_record["benchmarks"]:
+        # Names look like BM_SparseTailRounds.../100000/1/manual_time.
+        parts = p["name"].split("/")
+        if "SparseTail" in parts[0] and len(parts) >= 3 \
+                and "items_per_round" in p:
+            tails.setdefault((parts[0], parts[1]), {})[parts[2]] = \
+                p["items_per_round"]
+    ok = True
+    for (base, instance), modes in sorted(tails.items()):
+        dense, active = modes.get("0"), modes.get("1")
+        if dense is None or active is None or active <= 0:
+            continue
+        ratio = dense / active
+        status = "ok" if ratio >= 5.0 else "REGRESSION"
+        print(f"{base}/{instance}: dense {dense:.0f} vs active {active:.0f} "
+              f"items/round ({ratio:.1f}x) {status}", file=sys.stderr)
+        ok = ok and ratio >= 5.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

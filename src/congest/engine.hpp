@@ -29,13 +29,34 @@
 // accounting (bit totals + transcript hash) runs in a single deterministic
 // slot-order pass after all agents of a round have stepped. A protocol run
 // is therefore a pure function of (hypergraph, agent construction) — with
-// any Options::threads value.
+// any Options::threads value and either Options::scheduling mode.
+//
+// Activity-driven execution (Options::scheduling == kActive, the default):
+// protocols in this codebase halt agents progressively — covered edges and
+// tight vertices drop out within a few iterations — so the engine keeps
+// per-shard worklists of live agents, compacted in place (preserving
+// ascending id order) whenever an agent halts, and steps only the
+// worklists. Sends record their destination slot in a per-shard dirty
+// list; accounting merges the lists and visits them in ascending slot
+// order, and mailbox clearing wipes only the recorded slots. A per-round
+// density heuristic falls back to the dense word-at-a-time scan / memset
+// when most links carry a message, so saturated early rounds are not
+// penalized. Quiescence is a live-agent counter maintained at worklist
+// compaction — O(1) per round instead of an O(n + m) scan.
+//
+// Halting is decided by an agent inside its own step(); once an agent
+// reports halted() it is retired from the worklists and never stepped
+// again. Un-halting an agent externally between rounds is outside the
+// execution model (under kDense such an agent would be swept up again;
+// under kActive it stays retired).
 //
 // Parallel execution: within a round every agent reads only the `current`
 // buffers (last round's messages) and writes only its own `next` slots, so
 // vertex and edge agents are mutually independent. The engine partitions
 // both agent classes into contiguous shards balanced by incidence count
-// and steps the shards on a fixed-size thread pool.
+// and steps the shards on a fixed-size thread pool; when few agents are
+// live, the dispatch shrinks to fewer workers (or runs inline) so sparse
+// rounds do not pay the wakeup handshake.
 
 #include <algorithm>
 #include <cassert>
@@ -62,23 +83,39 @@ namespace detail {
 
 /// Per-direction mailbox: one slot per network link, flat over the CSR
 /// positions of the receiving side, double-buffered (current / next).
+/// Under active scheduling each buffer also carries the list of slots
+/// whose present flag is set, so accounting and clearing can visit only
+/// the links that carried a message this round.
 template <class M>
 struct LinkBuffer {
   std::vector<M> current, next;
   std::vector<std::uint8_t> current_present, next_present;
+  std::vector<std::size_t> current_dirty, next_dirty;
+  // True iff the matching dirty list is a complete record of the set
+  // present flags. Saturated rounds skip recording (the dense fallback
+  // neither needs nor wants it), flipping this off for one cycle.
+  bool current_tracked = true, next_tracked = true;
 
   void resize(std::size_t links) {
     current.resize(links);
     next.resize(links);
     current_present.assign(links, 0);
     next_present.assign(links, 0);
+    current_dirty.clear();
+    next_dirty.clear();
+    current_tracked = next_tracked = true;  // empty mailboxes, empty lists
   }
+};
 
-  void swap_and_clear() {
-    current.swap(next);
-    current_present.swap(next_present);
-    std::fill(next_present.begin(), next_present.end(), 0);
-  }
+/// Per-shard scratch: dirty-slot lists filled by the shard's senders
+/// during a round plus the shard's work counters, merged single-threaded
+/// after the parallel phase. Cache-line aligned so neighbouring shards
+/// never false-share.
+struct alignas(64) ShardScratch {
+  std::vector<std::size_t> to_edge_dirty;    // edge-side slots written
+  std::vector<std::size_t> to_vertex_dirty;  // vertex-side slots written
+  std::uint64_t agents_visited = 0;
+  std::uint64_t agent_steps = 0;
 };
 
 inline std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) noexcept {
@@ -119,7 +156,7 @@ class Engine {
     }
     /// Sends a message to incident edge `local`, delivered next round.
     void send(std::uint32_t local, const VertexMsg& msg) {
-      eng_->send_to_edge(v_, local, msg);
+      eng_->send_to_edge(scratch_, v_, local, msg);
     }
     /// Sends `msg` on every incident link (one message per link).
     void broadcast(const VertexMsg& msg) {
@@ -128,9 +165,11 @@ class Engine {
 
    private:
     friend class Engine;
-    VertexCtx(Engine* eng, hg::VertexId v) : eng_(eng), v_(v) {}
+    VertexCtx(Engine* eng, hg::VertexId v, detail::ShardScratch* scratch)
+        : eng_(eng), v_(v), scratch_(scratch) {}
     Engine* eng_;
     hg::VertexId v_;
+    detail::ShardScratch* scratch_;
   };
 
   /// Context handed to an edge agent. `local` indices enumerate the edge's
@@ -152,7 +191,7 @@ class Engine {
                  : nullptr;
     }
     void send(std::uint32_t local, const EdgeMsg& msg) {
-      eng_->send_to_vertex(e_, local, msg);
+      eng_->send_to_vertex(scratch_, e_, local, msg);
     }
     void broadcast(const EdgeMsg& msg) {
       for (std::uint32_t k = 0; k < size(); ++k) send(k, msg);
@@ -160,9 +199,11 @@ class Engine {
 
    private:
     friend class Engine;
-    EdgeCtx(Engine* eng, hg::EdgeId e) : eng_(eng), e_(e) {}
+    EdgeCtx(Engine* eng, hg::EdgeId e, detail::ShardScratch* scratch)
+        : eng_(eng), e_(e), scratch_(scratch) {}
     Engine* eng_;
     hg::EdgeId e_;
+    detail::ShardScratch* scratch_;
   };
 
   /// The graph must outlive the engine. Agents are value-constructed;
@@ -175,10 +216,23 @@ class Engine {
     to_vertex_.resize(graph.num_incidences());
     build_slot_bases();
     const unsigned threads = ThreadPool::resolve(options_.threads);
-    if (threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(threads);
-      vertex_shards_ = balanced_shards(vertex_slot_base_, threads);
-      edge_shards_ = balanced_shards(edge_slot_base_, threads);
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    const unsigned shards = shard_count();
+    vertex_shards_ = balanced_shards(vertex_slot_base_, shards);
+    edge_shards_ = balanced_shards(edge_slot_base_, shards);
+    scratch_.resize(shards);
+    if (options_.scheduling == Scheduling::kActive) {
+      to_edge_.next_dirty.reserve(graph.num_incidences());
+      to_vertex_.next_dirty.reserve(graph.num_incidences());
+      for (unsigned s = 0; s < shards; ++s) {
+        // A shard can send at most one message per incidence it owns.
+        scratch_[s].to_edge_dirty.reserve(
+            vertex_slot_base_[vertex_shards_[s + 1]] -
+            vertex_slot_base_[vertex_shards_[s]]);
+        scratch_[s].to_vertex_dirty.reserve(
+            edge_slot_base_[edge_shards_[s + 1]] -
+            edge_slot_base_[edge_shards_[s]]);
+      }
     }
     const std::uint64_t network_size =
         std::uint64_t{graph.num_vertices()} + graph.num_edges();
@@ -204,6 +258,7 @@ class Engine {
   /// Runs the protocol to quiescence (all agents halted) or to the round
   /// limit. Returns the accumulated statistics.
   RunStats run() {
+    ensure_frontier();
     while (round_ < options_.max_rounds) {
       if (all_halted()) {
         stats_.completed = true;
@@ -218,19 +273,30 @@ class Engine {
 
   /// Executes exactly one synchronous round (exposed for lock-step tests).
   void step_round() {
+    ensure_frontier();
     if (options_.keep_round_stats) stats_.per_round.emplace_back();
-    if (pool_) {
-      pool_->run([this](unsigned shard) {
-        step_vertex_range(vertex_shards_[shard], vertex_shards_[shard + 1]);
-        step_edge_range(edge_shards_[shard], edge_shards_[shard + 1]);
-      });
+    if (options_.scheduling == Scheduling::kDense) {
+      to_edge_.next_tracked = false;  // dense sweeps never record sends
+      to_vertex_.next_tracked = false;
+      step_round_dense();
     } else {
-      step_vertex_range(0, graph_->num_vertices());
-      step_edge_range(0, graph_->num_edges());
+      // Saturated rounds (most agents live) will be accounted and cleared
+      // densely anyway, so skip dirty-slot recording and its push cost;
+      // sparse rounds record so accounting/clearing touch only messages.
+      // Recording engages earlier than the sparse threshold (kRecordFactor
+      // < kSparseFactor): a wasted record costs one push per message, a
+      // missed sparse round costs two full dense passes.
+      recording_ = live_agents_ * kRecordFactor <
+                   vertex_agents_.size() + edge_agents_.size();
+      to_edge_.next_tracked = recording_;
+      to_vertex_.next_tracked = recording_;
+      dispatch_frontier();
+      fold_scratch();
+      refresh_live_count();
     }
     account_round();
-    to_edge_.swap_and_clear();
-    to_vertex_.swap_and_clear();
+    swap_and_clear(to_edge_);
+    swap_and_clear(to_vertex_);
     ++round_;
   }
 
@@ -239,7 +305,11 @@ class Engine {
     return pool_ ? pool_->size() : 1;
   }
 
+  /// True once every agent halted. Under active scheduling this is the
+  /// O(1) live-agent counter after the first round; before any round (and
+  /// always under kDense) it falls back to the full scan.
   [[nodiscard]] bool all_halted() const {
+    if (frontier_built_) return live_agents_ == 0;
     for (const auto& a : vertex_agents_) {
       if (!a.halted()) return false;
     }
@@ -249,11 +319,39 @@ class Engine {
     return true;
   }
 
+  /// Number of non-halted agents (vertices + edges), exact at round
+  /// boundaries. Under kDense this is a full O(n + m) scan.
+  [[nodiscard]] std::size_t live_agents() {
+    if (options_.scheduling == Scheduling::kDense) {
+      std::size_t live = 0;
+      for (const auto& a : vertex_agents_) live += !a.halted();
+      for (const auto& a : edge_agents_) live += !a.halted();
+      return live;
+    }
+    ensure_frontier();
+    return live_agents_;
+  }
+
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
 
  private:
   friend class VertexCtx;
   friend class EdgeCtx;
+
+  /// Accounting/clearing go sparse when set slots * kSparseFactor < links;
+  /// the dense word scan costs ~links/8 loads, the sparse path a sort plus
+  /// one scattered access per message.
+  static constexpr std::size_t kSparseFactor = 8;
+  /// Dirty-slot recording starts once live agents drop below 1/kRecordFactor
+  /// of the network (cheap insurance for the upcoming sparse rounds).
+  static constexpr std::size_t kRecordFactor = 4;
+  /// Target live agents per dispatched worker; rounds with less total work
+  /// shrink to fewer workers (1 worker = inline, no pool handshake).
+  static constexpr std::size_t kMinAgentsPerWorker = 256;
+
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return pool_ ? pool_->size() : 1;
+  }
 
   [[nodiscard]] std::size_t vertex_base(hg::VertexId v) const noexcept {
     return vertex_slot_base_[v];
@@ -292,21 +390,154 @@ class Engine {
     }
   }
 
-  void step_vertex_range(hg::VertexId begin, hg::VertexId end) {
+  // --- frontier worklists --------------------------------------------------
+
+  /// Builds the per-shard live-agent worklists from the agents' current
+  /// halted flags. Runs once, lazily, so protocols may configure agents
+  /// after constructing the engine; agents constructed (or configured)
+  /// halted are never scheduled.
+  void ensure_frontier() {
+    if (frontier_built_ || options_.scheduling == Scheduling::kDense) return;
+    frontier_built_ = true;
+    const unsigned shards = shard_count();
+    vertex_work_.resize(shards);
+    edge_work_.resize(shards);
+    live_agents_ = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+      auto& vw = vertex_work_[s];
+      vw.reserve(vertex_shards_[s + 1] - vertex_shards_[s]);
+      for (std::uint32_t v = vertex_shards_[s]; v < vertex_shards_[s + 1];
+           ++v) {
+        if (!vertex_agents_[v].halted()) vw.push_back(v);
+      }
+      auto& ew = edge_work_[s];
+      ew.reserve(edge_shards_[s + 1] - edge_shards_[s]);
+      for (std::uint32_t e = edge_shards_[s]; e < edge_shards_[s + 1]; ++e) {
+        if (!edge_agents_[e].halted()) ew.push_back(e);
+      }
+      live_agents_ += vw.size() + ew.size();
+    }
+  }
+
+  /// Steps one shard's worklists and compacts them in place: an agent that
+  /// halts during its step is dropped, preserving ascending id order.
+  void step_shard(unsigned s) {
+    detail::ShardScratch& sc = scratch_[s];
+    auto& vw = vertex_work_[s];
+    sc.agents_visited += vw.size();
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < vw.size(); ++i) {
+      const hg::VertexId v = vw[i];
+      VertexAgent& a = vertex_agents_[v];
+      if (a.halted()) continue;
+      ++sc.agent_steps;
+      VertexCtx ctx(this, v, recording_ ? &sc : nullptr);
+      a.step(ctx);
+      if (!a.halted()) vw[out++] = v;
+    }
+    vw.resize(out);
+    auto& ew = edge_work_[s];
+    sc.agents_visited += ew.size();
+    out = 0;
+    for (std::size_t i = 0; i < ew.size(); ++i) {
+      const hg::EdgeId e = ew[i];
+      EdgeAgent& a = edge_agents_[e];
+      if (a.halted()) continue;
+      ++sc.agent_steps;
+      EdgeCtx ctx(this, e, recording_ ? &sc : nullptr);
+      a.step(ctx);
+      if (!a.halted()) ew[out++] = e;
+    }
+    ew.resize(out);
+  }
+
+  /// Runs all shards, on as many workers as the live-agent count merits.
+  /// Any worker count yields the same result: agents are independent and
+  /// every shard is stepped exactly once by exactly one worker.
+  void dispatch_frontier() {
+    const unsigned shards = shard_count();
+    unsigned workers = 1;
+    if (pool_) {
+      workers = static_cast<unsigned>(std::clamp<std::size_t>(
+          live_agents_ / kMinAgentsPerWorker, 1, pool_->size()));
+    }
+    if (workers <= 1) {
+      for (unsigned s = 0; s < shards; ++s) step_shard(s);
+    } else if (workers == shards) {
+      pool_->run([this](unsigned s) { step_shard(s); });
+    } else {
+      pool_->run_some(workers, [this, shards, workers](unsigned w) {
+        for (unsigned s = w; s < shards; s += workers) step_shard(s);
+      });
+    }
+  }
+
+  /// Merges per-shard dirty lists and work counters, in shard order, on
+  /// the calling thread — the single deterministic point between the
+  /// parallel step phase and accounting.
+  void fold_scratch() {
+    for (auto& sc : scratch_) {
+      to_edge_.next_dirty.insert(to_edge_.next_dirty.end(),
+                                 sc.to_edge_dirty.begin(),
+                                 sc.to_edge_dirty.end());
+      sc.to_edge_dirty.clear();
+      to_vertex_.next_dirty.insert(to_vertex_.next_dirty.end(),
+                                   sc.to_vertex_dirty.begin(),
+                                   sc.to_vertex_dirty.end());
+      sc.to_vertex_dirty.clear();
+      stats_.agents_visited += sc.agents_visited;
+      sc.agents_visited = 0;
+      stats_.agent_steps += sc.agent_steps;
+      sc.agent_steps = 0;
+    }
+  }
+
+  void refresh_live_count() {
+    live_agents_ = 0;
+    for (const auto& wl : vertex_work_) live_agents_ += wl.size();
+    for (const auto& wl : edge_work_) live_agents_ += wl.size();
+  }
+
+  // --- reference dense sweeps (Scheduling::kDense) -------------------------
+
+  void step_round_dense() {
+    if (pool_) {
+      pool_->run([this](unsigned shard) {
+        step_vertex_range(vertex_shards_[shard], vertex_shards_[shard + 1],
+                          scratch_[shard]);
+        step_edge_range(edge_shards_[shard], edge_shards_[shard + 1],
+                        scratch_[shard]);
+      });
+    } else {
+      step_vertex_range(0, graph_->num_vertices(), scratch_[0]);
+      step_edge_range(0, graph_->num_edges(), scratch_[0]);
+    }
+    fold_scratch();  // dirty lists are empty here; folds the counters
+  }
+
+  void step_vertex_range(hg::VertexId begin, hg::VertexId end,
+                         detail::ShardScratch& sc) {
+    sc.agents_visited += end - begin;
     for (hg::VertexId v = begin; v < end; ++v) {
       if (vertex_agents_[v].halted()) continue;
-      VertexCtx ctx(this, v);
+      ++sc.agent_steps;
+      VertexCtx ctx(this, v, nullptr);
       vertex_agents_[v].step(ctx);
     }
   }
 
-  void step_edge_range(hg::EdgeId begin, hg::EdgeId end) {
+  void step_edge_range(hg::EdgeId begin, hg::EdgeId end,
+                       detail::ShardScratch& sc) {
+    sc.agents_visited += end - begin;
     for (hg::EdgeId e = begin; e < end; ++e) {
       if (edge_agents_[e].halted()) continue;
-      EdgeCtx ctx(this, e);
+      ++sc.agent_steps;
+      EdgeCtx ctx(this, e, nullptr);
       edge_agents_[e].step(ctx);
     }
   }
+
+  // --- sharding ------------------------------------------------------------
 
   /// Contiguous shard boundaries over [0, count) balanced by incidence
   /// weight, computed from a CSR base array of size count + 1.
@@ -324,29 +555,50 @@ class Engine {
     return bounds;
   }
 
-  void send_to_edge(hg::VertexId v, std::uint32_t local, const VertexMsg& msg) {
+  // --- sends ---------------------------------------------------------------
+
+  void send_to_edge(detail::ShardScratch* sc, hg::VertexId v,
+                    std::uint32_t local, const VertexMsg& msg) {
     const std::size_t slot = v_send_slot_[vertex_slot_base_[v] + local];
     assert(!to_edge_.next_present[slot] && "one message per link per round");
     to_edge_.next[slot] = msg;
     to_edge_.next_present[slot] = 1;
+    if (sc) sc->to_edge_dirty.push_back(slot);
   }
 
-  void send_to_vertex(hg::EdgeId e, std::uint32_t local, const EdgeMsg& msg) {
+  void send_to_vertex(detail::ShardScratch* sc, hg::EdgeId e,
+                      std::uint32_t local, const EdgeMsg& msg) {
     const std::size_t slot = e_send_slot_[edge_slot_base_[e] + local];
     assert(!to_vertex_.next_present[slot] && "one message per link per round");
     to_vertex_.next[slot] = msg;
     to_vertex_.next_present[slot] = 1;
+    if (sc) sc->to_vertex_dirty.push_back(slot);
   }
+
+  // --- accounting and clearing ---------------------------------------------
 
   /// Folds this round's outgoing messages into the statistics in ascending
   /// slot order (edge-bound then vertex-bound). Runs single-threaded after
   /// the agents step, so totals and the transcript hash never depend on
-  /// agent scheduling. Present flags are scanned eight at a time so that
-  /// sparse late rounds (most agents halted) cost memory bandwidth, not a
-  /// branch per link.
+  /// agent scheduling. Sparse rounds visit the sorted dirty-slot list —
+  /// the same ascending set of slots the dense scan would find, so the
+  /// transcript hash is independent of which path ran.
   template <class M>
-  void account_links(const detail::LinkBuffer<M>& buf, std::uint64_t key_bit) {
+  void account_links(detail::LinkBuffer<M>& buf, std::uint64_t key_bit) {
     const std::size_t links = graph_->num_incidences();
+    auto& dirty = buf.next_dirty;
+    if (buf.next_tracked && dirty.size() * kSparseFactor < links) {
+      std::sort(dirty.begin(), dirty.end());
+      for (const std::size_t slot : dirty) {
+        assert(buf.next_present[slot]);
+        account(buf.next[slot].bit_size(), slot * 2 + key_bit);
+      }
+      stats_.slots_processed += dirty.size();
+      ++stats_.sparse_account_passes;
+      return;
+    }
+    ++stats_.dense_account_passes;
+    stats_.slots_processed += links;
     const std::uint8_t* present = buf.next_present.data();
     std::size_t slot = 0;
     for (; slot + 8 <= links; slot += 8) {
@@ -367,6 +619,30 @@ class Engine {
   void account_round() {
     account_links(to_edge_, 0);
     account_links(to_vertex_, 1);
+  }
+
+  /// Advances the double buffer and wipes the retired side's present
+  /// flags. Under active scheduling the retired side's dirty list is a
+  /// complete record of its set flags, so a sparse round clears only
+  /// those slots instead of memsetting the whole array.
+  template <class M>
+  void swap_and_clear(detail::LinkBuffer<M>& buf) {
+    buf.current.swap(buf.next);
+    buf.current_present.swap(buf.next_present);
+    buf.current_dirty.swap(buf.next_dirty);
+    std::swap(buf.current_tracked, buf.next_tracked);
+    auto& dirty = buf.next_dirty;  // the slots set in the retired buffer
+    const std::size_t links = buf.next_present.size();
+    if (buf.next_tracked && dirty.size() * kSparseFactor < links) {
+      for (const std::size_t slot : dirty) buf.next_present[slot] = 0;
+      stats_.slots_processed += dirty.size();
+    } else {
+      std::fill(buf.next_present.begin(), buf.next_present.end(), 0);
+      stats_.slots_processed += links;
+    }
+    dirty.clear();
+    buf.next_tracked = true;  // the buffer is now empty; the next round's
+                              // recording decision overwrites this
   }
 
   void account(std::uint32_t bits, std::uint64_t slot_key) {
@@ -398,8 +674,14 @@ class Engine {
   std::vector<std::size_t> v_send_slot_;       // (v,k) -> edge-side slot
   std::vector<std::size_t> e_send_slot_;       // (e,j) -> vertex-side slot
   std::unique_ptr<ThreadPool> pool_;           // null when threads == 1
-  std::vector<std::uint32_t> vertex_shards_;   // shard bounds, size workers+1
+  std::vector<std::uint32_t> vertex_shards_;   // shard bounds, size shards+1
   std::vector<std::uint32_t> edge_shards_;
+  std::vector<detail::ShardScratch> scratch_;  // per shard, both modes
+  std::vector<std::vector<std::uint32_t>> vertex_work_;  // live ids, per shard
+  std::vector<std::vector<std::uint32_t>> edge_work_;
+  bool frontier_built_ = false;
+  bool recording_ = false;       // this round records dirty slots
+  std::size_t live_agents_ = 0;  // maintained at worklist compaction
 };
 
 }  // namespace hypercover::congest

@@ -9,7 +9,11 @@ std::ostream& operator<<(std::ostream& os, const RunStats& s) {
             << " messages=" << s.total_messages << " bits=" << s.total_bits
             << " max_msg_bits=" << s.max_message_bits << "/"
             << s.bandwidth_limit_bits
-            << " violations=" << s.bandwidth_violations;
+            << " violations=" << s.bandwidth_violations
+            << " steps=" << s.agent_steps << "/" << s.agents_visited
+            << " slots=" << s.slots_processed
+            << " passes=sparse:" << s.sparse_account_passes
+            << "+dense:" << s.dense_account_passes;
 }
 
 }  // namespace hypercover::congest

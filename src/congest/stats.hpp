@@ -36,9 +36,43 @@ struct RunStats {
   std::uint64_t transcript_hash = 0;
   /// Per-round breakdown (kept only when Options::keep_round_stats).
   std::vector<RoundStats> per_round;
+
+  // Engine work accounting (scheduler cost, not protocol semantics).
+  // These measure how many items the engine touched, so the frontier
+  // optimization is verifiable: under Scheduling::kActive late sparse
+  // rounds cost O(live agents + messages), under kDense every round
+  // costs O(n + m + links). None of them feed the transcript hash.
+  /// Scheduler loop visits (dense sweeps count every agent every round;
+  /// frontier worklists count only live agents).
+  std::uint64_t agents_visited = 0;
+  /// Actual step() invocations on non-halted agents.
+  std::uint64_t agent_steps = 0;
+  /// Mailbox slots touched by message accounting and present-flag
+  /// clearing (dense passes count all links, sparse passes only the
+  /// slots written this round).
+  std::uint64_t slots_processed = 0;
+  /// Accounting passes served by the sorted dirty-slot list vs the dense
+  /// word-at-a-time scan (two passes per round, one per direction).
+  std::uint64_t sparse_account_passes = 0;
+  std::uint64_t dense_account_passes = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const RunStats& s);
+
+/// How the engine schedules agent steps, message accounting, and mailbox
+/// clearing. Both modes execute the same protocol and produce the same
+/// transcript hash, duals, and cover — only the engine's own work differs.
+enum class Scheduling : std::uint8_t {
+  /// Frontier worklists over live agents, dirty-slot lists recorded at
+  /// send time, and a per-round density heuristic that falls back to the
+  /// dense word-at-a-time scan when most links carry a message. Late
+  /// sparse rounds cost O(live agents + messages).
+  kActive,
+  /// Reference dense sweeps: every round scans all agents, all link
+  /// present-flags, and memsets both mailbox arrays. Kept as an A/B
+  /// baseline for tests and benchmarks.
+  kDense,
+};
 
 /// Engine configuration.
 struct Options {
@@ -55,6 +89,9 @@ struct Options {
   /// accounting happens in a deterministic slot-order pass after the
   /// agents step, so the transcript hash is independent of scheduling.
   std::uint32_t threads = 1;
+  /// Activity-driven (default) vs reference dense execution; both are
+  /// bit-identical in every protocol-observable quantity.
+  Scheduling scheduling = Scheduling::kActive;
 };
 
 }  // namespace hypercover::congest

@@ -22,14 +22,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& job) {
-  if (size_ == 1) {
+  run_some(size_, job);
+}
+
+void ThreadPool::run_some(unsigned workers,
+                          const std::function<void(unsigned)>& job) {
+  const unsigned active = std::clamp(workers, 1u, size_);
+  if (active == 1) {
     job(0);
     return;
   }
   {
     std::lock_guard lk(mu_);
     job_ = &job;
-    pending_ = size_ - 1;
+    active_ = active;
+    pending_ = active - 1;
     std::fill(errors_.begin(), errors_.end(), nullptr);
     ++generation_;
   }
@@ -58,8 +65,11 @@ void ThreadPool::worker_loop(unsigned index) {
       cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
-      job = job_;
+      // A worker outside the active prefix is not part of this job's
+      // barrier: it must neither run the job nor decrement pending_.
+      job = index < active_ ? job_ : nullptr;
     }
+    if (job == nullptr) continue;
     try {
       (*job)(index);
     } catch (...) {

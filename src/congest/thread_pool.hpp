@@ -38,6 +38,14 @@ class ThreadPool {
   /// barrier. Not reentrant: jobs must not call run() on the same pool.
   void run(const std::function<void(unsigned)>& job);
 
+  /// Like run(), but dispatches only workers [0, workers): idle workers
+  /// wake, see they are not needed, and go back to sleep without touching
+  /// the job or the completion barrier. `workers` is clamped to
+  /// [1, size()]; a 1-worker dispatch runs the job inline on the calling
+  /// thread with no synchronization at all. The activity-driven engine
+  /// uses this to shrink parallelism in rounds with few live agents.
+  void run_some(unsigned workers, const std::function<void(unsigned)>& job);
+
   [[nodiscard]] unsigned size() const noexcept { return size_; }
 
   /// 0 means "use the hardware": returns max(hardware_concurrency(), 1).
@@ -53,6 +61,7 @@ class ThreadPool {
   const std::function<void(unsigned)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
+  unsigned active_ = 0;  // workers participating in the current job
   bool stop_ = false;
   std::vector<std::exception_ptr> errors_;
 };

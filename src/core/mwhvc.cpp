@@ -94,7 +94,25 @@ class InvariantChecker {
 
 }  // namespace
 
-MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
+/// Owns everything a stepwise run needs with a stable address: the engine
+/// and its agents hold pointers into cfg/trace, so Impl lives on the heap
+/// and MwhvcRun stays movable.
+struct MwhvcRun::Impl {
+  Impl(const hg::Hypergraph& graph, const MwhvcOptions& options)
+      : g(&graph), opts(options), checker(graph, options.check_invariants) {}
+
+  const hg::Hypergraph* g;
+  MwhvcOptions opts;
+  MwhvcResult res;                // derived params filled at construction
+  Trace trace;
+  Config cfg;
+  std::unique_ptr<Engine> eng;    // null on an edge-free instance
+  InvariantChecker checker;
+  std::uint32_t round = 0;
+  std::uint32_t iteration = 0;
+};
+
+MwhvcRun::MwhvcRun(const hg::Hypergraph& g, const MwhvcOptions& opts) {
   if (!(opts.eps > 0.0) || opts.eps > 1.0) {
     throw std::invalid_argument("solve_mwhvc: eps must be in (0, 1]");
   }
@@ -107,7 +125,8 @@ MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
         "solve_mwhvc: f_override below the instance rank");
   }
 
-  MwhvcResult res;
+  impl_ = std::make_unique<Impl>(g, opts);
+  MwhvcResult& res = impl_->res;
   res.f = opts.f_override != 0 ? opts.f_override : rank;
   res.beta = beta_for(res.f, opts.eps);
   res.z = level_cap(res.f, opts.eps);
@@ -119,10 +138,10 @@ MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
   if (g.num_edges() == 0) {  // nothing to cover
     res.levels.assign(g.num_vertices(), 0);
     res.net.completed = true;
-    return res;
+    return;
   }
 
-  Trace trace;
+  Trace& trace = impl_->trace;
   trace.enabled = opts.collect_trace;
   trace.z = res.z;
   if (trace.enabled) {
@@ -131,7 +150,7 @@ MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
     trace.stuck_per_level.assign(std::size_t{g.num_vertices()} * res.z, 0);
   }
 
-  Config cfg;
+  Config& cfg = impl_->cfg;
   cfg.graph = &g;
   cfg.f = res.f;
   cfg.eps = opts.eps;
@@ -144,40 +163,70 @@ MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
   cfg.appendix_c = opts.appendix_c;
   cfg.trace = &trace;
 
-  Engine eng(g, opts.engine);
+  impl_->eng = std::make_unique<Engine>(g, opts.engine);
+  Engine& eng = *impl_->eng;
   for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
     eng.vertex_agents()[v].configure(&cfg, v);
   }
   for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
     eng.edge_agents()[e].configure(&cfg, e);
   }
+}
 
-  InvariantChecker checker(g, opts.check_invariants);
-  std::uint32_t round = 0;
-  std::uint32_t iteration = 0;
-  while (round < opts.engine.max_rounds && !eng.all_halted()) {
-    eng.step_round();
-    ++round;
-    // The init replies (round index 1) fix δ_0, the Eq. 1 baseline.
-    if (opts.check_invariants && round == 2) checker.capture_baseline(eng);
-    // Iteration i's phase D executes in round 4i+1; check at its boundary.
-    if (opts.check_invariants && round >= 6 && (round - 2) % 4 == 0) {
-      ++iteration;
-      if (res.invariants_ok) {
-        std::string violation = checker.check(eng, iteration);
-        if (!violation.empty()) {
-          res.invariants_ok = false;
-          res.invariant_violation = std::move(violation);
-        }
+MwhvcRun::~MwhvcRun() = default;
+MwhvcRun::MwhvcRun(MwhvcRun&&) noexcept = default;
+MwhvcRun& MwhvcRun::operator=(MwhvcRun&&) noexcept = default;
+
+void MwhvcRun::step_round() {
+  Impl& im = *impl_;
+  if (im.eng == nullptr) return;  // edge-free: complete from the start
+  im.eng->step_round();
+  ++im.round;
+  // The init replies (round index 1) fix δ_0, the Eq. 1 baseline.
+  if (im.opts.check_invariants && im.round == 2) {
+    im.checker.capture_baseline(*im.eng);
+  }
+  // Iteration i's phase D executes in round 4i+1; check at its boundary.
+  if (im.opts.check_invariants && im.round >= 6 && (im.round - 2) % 4 == 0) {
+    ++im.iteration;
+    if (im.res.invariants_ok) {
+      std::string violation = im.checker.check(*im.eng, im.iteration);
+      if (!violation.empty()) {
+        im.res.invariants_ok = false;
+        im.res.invariant_violation = std::move(violation);
       }
     }
   }
+}
 
+bool MwhvcRun::done() const {
+  return impl_->eng == nullptr || impl_->eng->all_halted();
+}
+
+std::uint32_t MwhvcRun::rounds() const { return impl_->round; }
+
+std::size_t MwhvcRun::live_agents() const {
+  return impl_->eng ? impl_->eng->live_agents() : 0;
+}
+
+const congest::RunStats& MwhvcRun::stats() const {
+  return impl_->eng ? impl_->eng->stats() : impl_->res.net;
+}
+
+const MwhvcOptions& MwhvcRun::options() const { return impl_->opts; }
+
+MwhvcResult MwhvcRun::finish() {
+  Impl& im = *impl_;
+  MwhvcResult res = std::move(im.res);
+  if (im.eng == nullptr) return res;  // edge-free result is already final
+
+  const hg::Hypergraph& g = *im.g;
+  Engine& eng = *im.eng;
   res.net = eng.stats();
-  res.net.rounds = round;
+  res.net.rounds = im.round;
   res.net.completed = eng.all_halted();
   res.iterations =
-      round > 2 ? (round - 2 + 3) / 4 : 0;  // ceil((rounds - 2) / 4)
+      im.round > 2 ? (im.round - 2 + 3) / 4 : 0;  // ceil((rounds - 2) / 4)
 
   res.levels.resize(g.num_vertices());
   for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -189,18 +238,26 @@ MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
     }
     // Trace scalars are folded out of per-agent counters here rather than
     // mutated inside steps, so they are exact under the parallel engine.
-    trace.stuck_events += va.stuck_count();
-    trace.max_level = std::max(trace.max_level, va.traced_max_level());
-    trace.max_level_incr_per_iter =
-        std::max(trace.max_level_incr_per_iter, va.max_incr_per_iter());
+    im.trace.stuck_events += va.stuck_count();
+    im.trace.max_level = std::max(im.trace.max_level, va.traced_max_level());
+    im.trace.max_level_incr_per_iter =
+        std::max(im.trace.max_level_incr_per_iter, va.max_incr_per_iter());
   }
   for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
     res.duals[e] = eng.edge_agent(e).dual();
     res.dual_total += res.duals[e];
-    trace.raise_events += eng.edge_agent(e).raises();
+    im.trace.raise_events += eng.edge_agent(e).raises();
   }
-  res.trace = std::move(trace);
+  res.trace = std::move(im.trace);
   return res;
+}
+
+MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
+  MwhvcRun run(g, opts);
+  while (run.rounds() < opts.engine.max_rounds && !run.done()) {
+    run.step_round();
+  }
+  return run.finish();
 }
 
 std::vector<MwhvcResult> solve_mwhvc_batch(std::span<const MwhvcBatchJob> jobs,

@@ -7,6 +7,7 @@
 // the full execution statistics (rounds, messages, bits, raise/stuck
 // counters) that the benches report.
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -74,6 +75,45 @@ struct MwhvcResult {
 /// Runs Algorithm MWHVC on g. Throws std::invalid_argument on bad options.
 [[nodiscard]] MwhvcResult solve_mwhvc(const hg::Hypergraph& g,
                                       const MwhvcOptions& opts = {});
+
+/// Steppable MWHVC run: a configured CONGEST engine plus the derived
+/// protocol parameters, exposed round by round. solve_mwhvc() is a thin
+/// loop over this class; lock-step tests and the sparse-regime benchmarks
+/// use it directly to observe the engine between rounds (transcript hash,
+/// live-agent counts, work counters) without re-deriving the parameter
+/// rules. Invariant checking (MwhvcOptions::check_invariants) runs inside
+/// step_round() at the paper's iteration boundaries.
+///
+/// The graph must outlive the run. After finish() the run is exhausted
+/// and must not be stepped again.
+class MwhvcRun {
+ public:
+  /// Validates options (throws std::invalid_argument) and configures the
+  /// engine. An edge-free instance is complete immediately.
+  MwhvcRun(const hg::Hypergraph& g, const MwhvcOptions& opts);
+  ~MwhvcRun();
+  MwhvcRun(MwhvcRun&&) noexcept;
+  MwhvcRun& operator=(MwhvcRun&&) noexcept;
+
+  /// Executes one synchronous round (no-op on an edge-free instance).
+  void step_round();
+  /// True once every agent halted — the protocol is complete.
+  [[nodiscard]] bool done() const;
+  /// Rounds executed so far.
+  [[nodiscard]] std::uint32_t rounds() const;
+  /// Non-halted agents (vertices + edges); 0 once done.
+  [[nodiscard]] std::size_t live_agents() const;
+  /// Engine statistics accumulated so far.
+  [[nodiscard]] const congest::RunStats& stats() const;
+  /// The options the run was started with.
+  [[nodiscard]] const MwhvcOptions& options() const;
+  /// Extracts the result (cover, duals, levels, trace, net stats).
+  [[nodiscard]] MwhvcResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// The eps of Corollary 10: eps = 1/(nW) turns the (f+eps) guarantee into
 /// a clean f-approximation for integral weights. Clamped to (0, 1].

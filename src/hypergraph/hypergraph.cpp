@@ -6,12 +6,6 @@
 
 namespace hypercover::hg {
 
-std::uint32_t Hypergraph::local_max_degree(EdgeId e) const noexcept {
-  std::uint32_t best = 0;
-  for (const VertexId v : vertices_of(e)) best = std::max(best, degree(v));
-  return best;
-}
-
 Weight Hypergraph::weight_of(const std::vector<bool>& in_set) const {
   if (in_set.size() != weights_.size()) {
     throw std::invalid_argument("weight_of: indicator size mismatch");
@@ -93,6 +87,18 @@ Hypergraph Builder::build() {
   for (std::uint32_t v = 0; v < n; ++v) {
     g.vertex_offsets_[v + 1] = g.vertex_offsets_[v] + degree[v];
     g.max_degree_ = std::max(g.max_degree_, degree[v]);
+  }
+
+  // Local max-degree table: Delta(e) = max_{v in e} degree(v), one pass
+  // over the incidences so local_max_degree(e) is O(1) forever after.
+  g.local_max_degree_.assign(edges_.size(), 0);
+  for (std::size_t e = 0; e + 1 < g.edge_offsets_.size(); ++e) {
+    std::uint32_t best = 0;
+    for (std::size_t k = g.edge_offsets_[e]; k < g.edge_offsets_[e + 1]; ++k) {
+      best = std::max(best, degree[g.edge_vertices_[k]]);
+    }
+    g.local_max_degree_[e] = best;
+    g.max_local_degree_ = std::max(g.max_local_degree_, best);
   }
   g.vertex_edges_.resize(g.edge_vertices_.size());
   std::vector<std::size_t> cursor(g.vertex_offsets_.begin(),

@@ -41,15 +41,17 @@ class Hypergraph {
     return weights_;
   }
 
-  /// E(v): edges incident to v, sorted ascending.
+  /// E(v): edges incident to v, sorted ascending. data() arithmetic, not
+  /// operator[]: an isolated vertex in an edge-free graph would otherwise
+  /// form a reference one past (or into) an empty array — UB.
   [[nodiscard]] std::span<const EdgeId> edges_of(VertexId v) const noexcept {
-    return {&vertex_edges_[vertex_offsets_[v]],
+    return {vertex_edges_.data() + vertex_offsets_[v],
             vertex_offsets_[v + 1] - vertex_offsets_[v]};
   }
 
   /// Member vertices of edge e, sorted ascending.
   [[nodiscard]] std::span<const VertexId> vertices_of(EdgeId e) const noexcept {
-    return {&edge_vertices_[edge_offsets_[e]],
+    return {edge_vertices_.data() + edge_offsets_[e],
             edge_offsets_[e + 1] - edge_offsets_[e]};
   }
 
@@ -68,8 +70,18 @@ class Hypergraph {
   /// Maximum degree Delta (0 if every vertex is isolated).
   [[nodiscard]] std::uint32_t max_degree() const noexcept { return max_degree_; }
 
-  /// Local maximum degree Delta(e) = max_{v in e} |E(v)| (Theorem 9 remark).
-  [[nodiscard]] std::uint32_t local_max_degree(EdgeId e) const noexcept;
+  /// Local maximum degree Delta(e) = max_{v in e} |E(v)| (Theorem 9
+  /// remark). O(1): served from a table built at construction, so
+  /// per-round / per-edge queries do not re-scan the members.
+  [[nodiscard]] std::uint32_t local_max_degree(EdgeId e) const noexcept {
+    return local_max_degree_[e];
+  }
+
+  /// max_e Delta(e): the largest local degree bound any edge sees.
+  /// Equals max_degree() whenever some non-isolated vertex attains it.
+  [[nodiscard]] std::uint32_t max_local_degree() const noexcept {
+    return max_local_degree_;
+  }
 
   /// Total number of (vertex, edge) incidences = number of network links.
   [[nodiscard]] std::size_t num_incidences() const noexcept {
@@ -87,8 +99,10 @@ class Hypergraph {
   std::vector<EdgeId> vertex_edges_;
   std::vector<std::size_t> edge_offsets_;  // size m+1
   std::vector<VertexId> edge_vertices_;
+  std::vector<std::uint32_t> local_max_degree_;  // Delta(e), size m
   std::uint32_t rank_ = 0;
   std::uint32_t max_degree_ = 0;
+  std::uint32_t max_local_degree_ = 0;
 };
 
 /// Incremental constructor for Hypergraph. Validates on build():

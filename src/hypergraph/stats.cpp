@@ -12,6 +12,7 @@ Stats compute_stats(const Hypergraph& g) {
   s.m = g.num_edges();
   s.rank = g.rank();
   s.max_degree = g.max_degree();
+  s.max_local_degree = g.max_local_degree();
   s.incidences = g.num_incidences();
   s.min_weight = std::numeric_limits<Weight>::max();
   s.max_weight = 0;
@@ -30,8 +31,8 @@ Stats compute_stats(const Hypergraph& g) {
 
 std::ostream& operator<<(std::ostream& os, const Stats& s) {
   return os << "n=" << s.n << " m=" << s.m << " f=" << s.rank
-            << " Delta=" << s.max_degree << " W=" << s.weight_ratio
-            << " links=" << s.incidences;
+            << " Delta=" << s.max_degree << " localDelta=" << s.max_local_degree
+            << " W=" << s.weight_ratio << " links=" << s.incidences;
 }
 
 }  // namespace hypercover::hg

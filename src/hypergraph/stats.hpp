@@ -14,6 +14,7 @@ struct Stats {
   std::uint32_t m = 0;           ///< |E|
   std::uint32_t rank = 0;        ///< f
   std::uint32_t max_degree = 0;  ///< Delta
+  std::uint32_t max_local_degree = 0;  ///< max_e Delta(e) (Theorem 9 remark)
   Weight min_weight = 0;
   Weight max_weight = 0;
   double weight_ratio = 0.0;  ///< W = max w / min w

@@ -124,6 +124,33 @@ TEST(Hypergraph, LocalMaxDegree) {
   const Hypergraph g = b.build();
   EXPECT_EQ(g.local_max_degree(0), 3u);  // contains vertex 0 with degree 3
   EXPECT_EQ(g.local_max_degree(3), 2u);  // {1,2}: degrees 2 and 2
+  EXPECT_EQ(g.max_local_degree(), 3u);
+}
+
+TEST(Hypergraph, LocalMaxDegreeTableMatchesRecomputation) {
+  // The construction-time Delta(e) table must agree with a direct scan of
+  // every edge's members, including on graphs with isolated vertices.
+  Builder b;
+  b.add_vertices(40, 1);  // vertices 30..39 stay isolated
+  std::uint64_t state = 42;
+  for (std::uint32_t e = 0; e < 60; ++e) {
+    const auto a = static_cast<VertexId>((state = state * 6364136223846793005ULL + 1) % 30);
+    const auto c = static_cast<VertexId>((state = state * 6364136223846793005ULL + 1) % 30);
+    const auto d = static_cast<VertexId>((state = state * 6364136223846793005ULL + 1) % 30);
+    if (a != c && a != d && c != d) b.add_edge({a, c, d});
+  }
+  const Hypergraph g = b.build();
+  std::uint32_t max_local = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::uint32_t want = 0;
+    for (const VertexId v : g.vertices_of(e)) {
+      want = std::max(want, g.degree(v));
+    }
+    EXPECT_EQ(g.local_max_degree(e), want) << "edge " << e;
+    max_local = std::max(max_local, want);
+  }
+  EXPECT_EQ(g.max_local_degree(), max_local);
+  EXPECT_LE(g.max_local_degree(), g.max_degree());
 }
 
 TEST(Generators, RandomUniformRespectsRank) {
