@@ -10,11 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
-#include "baselines/kmw.hpp"
-#include "baselines/kvy.hpp"
+#include "api/registry.hpp"
 #include "congest/stats.hpp"
 #include "core/mwhvc.hpp"
 #include "hypergraph/hypergraph.hpp"
@@ -37,13 +38,13 @@ struct Metrics {
   bool verified = false;
 };
 
-/// Runs the verifier over any solver result and fills the metric row.
-/// Throws std::runtime_error if the solution fails verification — a bench
-/// must never report numbers for a wrong answer.
-template <class Result>
-Metrics metrics_from(const hg::Hypergraph& g, const Result& res,
-                     std::uint32_t iterations) {
-  const auto cert = verify::certify(g, res.in_cover, res.duals);
+/// Fills the metric row from an already-verified result + certificate;
+/// the single place a Metrics field is populated. Throws
+/// std::runtime_error on an invalid certificate or incomplete run — a
+/// bench must never report numbers for a wrong answer.
+inline Metrics metrics_row(const api::SolutionCore& res,
+                           std::uint32_t iterations,
+                           const verify::Certificate& cert) {
   if (!cert.valid() || !res.net.completed) {
     throw std::runtime_error("bench point failed verification: " + cert.error);
   }
@@ -62,26 +63,51 @@ Metrics metrics_from(const hg::Hypergraph& g, const Result& res,
   return m;
 }
 
+/// Independently re-verifies any solver result (certificate computed
+/// here, never trusted) and fills the metric row.
+inline Metrics metrics_from(const hg::Hypergraph& g,
+                            const api::SolutionCore& res,
+                            std::uint32_t iterations) {
+  return metrics_row(res, iterations,
+                     verify::certify(g, res.in_cover, res.duals));
+}
+
+/// Registry-dispatched bench point: solves with the named algorithm via
+/// api::solve and fills the metric row from the auto-attached
+/// certificate. `mwhvc_base` forwards the MWHVC-family knobs (alpha
+/// rule, appendix_c, engine, f_override); the registry's common knobs
+/// are lifted from it.
+inline Metrics run_algo(std::string_view algo, const hg::Hypergraph& g,
+                        double eps, const core::MwhvcOptions& mwhvc_base = {}) {
+  const api::Solution sol =
+      api::solve(algo, g, api::request_from(mwhvc_base, eps));
+  return metrics_row(sol, sol.iterations, sol.certificate);
+}
+
+/// The comparative experiments' algorithm set (Tables 1–2: the paper's
+/// algorithm vs both baselines), dispatched through the solver registry:
+/// extending every comparison sweep is one name here.
+constexpr const char* kComparedAlgos[] = {"mwhvc", "kvy", "kmw"};
+
+/// One row's worth of comparison points, keyed by registry name.
+inline std::map<std::string, Metrics> run_compared(const hg::Hypergraph& g,
+                                                   double eps) {
+  std::map<std::string, Metrics> res;
+  for (const char* algo : kComparedAlgos) res[algo] = run_algo(algo, g, eps);
+  return res;
+}
+
 inline Metrics run_mwhvc(const hg::Hypergraph& g, double eps,
                          const core::MwhvcOptions& base = {}) {
-  core::MwhvcOptions opts = base;
-  opts.eps = eps;
-  const auto res = core::solve_mwhvc(g, opts);
-  return metrics_from(g, res, res.iterations);
+  return run_algo("mwhvc", g, eps, base);
 }
 
 inline Metrics run_kmw(const hg::Hypergraph& g, double eps) {
-  baselines::KmwOptions opts;
-  opts.eps = eps;
-  const auto res = baselines::solve_kmw(g, opts);
-  return metrics_from(g, res, res.iterations);
+  return run_algo("kmw", g, eps);
 }
 
 inline Metrics run_kvy(const hg::Hypergraph& g, double eps) {
-  baselines::KvyOptions opts;
-  opts.eps = eps;
-  const auto res = baselines::solve_kvy(g, opts);
-  return metrics_from(g, res, res.iterations);
+  return run_algo("kvy", g, eps);
 }
 
 /// Attaches the engine's activity counters to a benchmark point so the

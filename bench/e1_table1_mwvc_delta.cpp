@@ -45,19 +45,17 @@ void print_table() {
                  "kmw ratio<="});
   for (const std::uint32_t target : kTargets) {
     const auto g = instance(target);
-    const auto ours = bench::run_mwhvc(g, kEps);
-    const auto kvy = bench::run_kvy(g, kEps);
-    const auto kmw = bench::run_kmw(g, kEps);
+    const auto r = bench::run_compared(g, kEps);
     const double ld = std::log2(static_cast<double>(g.max_degree()));
-    t.row()
-        .add(std::uint64_t{g.max_degree()})
-        .add(std::uint64_t{ours.rounds})
-        .add(std::uint64_t{kvy.rounds})
-        .add(std::uint64_t{kmw.rounds})
-        .add(ld / std::max(std::log2(ld), 1.0), 2)
-        .add(ours.certified_ratio, 3)
-        .add(kvy.certified_ratio, 3)
-        .add(kmw.certified_ratio, 3);
+    util::Table& row = t.row();
+    row.add(std::uint64_t{g.max_degree()});
+    for (const char* algo : bench::kComparedAlgos) {
+      row.add(std::uint64_t{r.at(algo).rounds});
+    }
+    row.add(ld / std::max(std::log2(ld), 1.0), 2);
+    for (const char* algo : bench::kComparedAlgos) {
+      row.add(r.at(algo).certified_ratio, 3);
+    }
   }
   t.print(std::cout);
   std::cout << "\nguarantee for every row: ratio <= 2 + eps = " << 2 + kEps
@@ -68,11 +66,11 @@ void print_table() {
                 "for ours and KVY; only KMW still pays log(W*Delta).");
   util::Table t2({"instance", "mwhvc rounds", "kvy rounds", "kmw rounds"});
   const auto add = [&](const char* name, const hg::Hypergraph& g) {
-    t2.row()
-        .add(name)
-        .add(std::uint64_t{bench::run_mwhvc(g, kEps).rounds})
-        .add(std::uint64_t{bench::run_kvy(g, kEps).rounds})
-        .add(std::uint64_t{bench::run_kmw(g, kEps).rounds});
+    util::Table& row = t2.row();
+    row.add(name);
+    for (const char* algo : bench::kComparedAlgos) {
+      row.add(std::uint64_t{bench::run_algo(algo, g, kEps).rounds});
+    }
   };
   add("star D=32768", hg::hyper_star(32768, 2, hg::exponential_weights(kLogW), 5));
   add("cycle n=4096", hg::cycle(4096, hg::exponential_weights(kLogW), 5));

@@ -29,17 +29,15 @@ void print_f_sweep() {
     const auto g = hg::random_uniform(3000, 3000 * 24 / f, f,
                                       hg::exponential_weights(kLogW),
                                       /*seed=*/3);
-    const auto ours = bench::run_mwhvc(g, kEps);
-    const auto kvy = bench::run_kvy(g, kEps);
-    const auto kmw = bench::run_kmw(g, kEps);
+    const auto r = bench::run_compared(g, kEps);
     t.row()
         .add(std::uint64_t{f})
-        .add(std::uint64_t{ours.rounds})
-        .add(std::uint64_t{ours.iterations})
-        .add(std::uint64_t{kvy.rounds})
-        .add(std::uint64_t{kmw.rounds})
+        .add(std::uint64_t{r.at("mwhvc").rounds})
+        .add(std::uint64_t{r.at("mwhvc").iterations})
+        .add(std::uint64_t{r.at("kvy").rounds})
+        .add(std::uint64_t{r.at("kmw").rounds})
         .add(f * std::log2(f / kEps), 1)
-        .add(ours.certified_ratio, 3);
+        .add(r.at("mwhvc").certified_ratio, 3);
   }
   t.print(std::cout);
 }
@@ -55,17 +53,15 @@ void print_delta_sweep() {
                                       hg::exponential_weights(kLogW),
                                       /*seed=*/3);
     const std::uint32_t d = g.max_degree();
-    const auto ours = bench::run_mwhvc(g, kEps);
-    const auto kvy = bench::run_kvy(g, kEps);
-    const auto kmw = bench::run_kmw(g, kEps);
+    const auto r = bench::run_compared(g, kEps);
     const double ld = std::log2(static_cast<double>(d));
-    t.row()
-        .add(std::uint64_t{d})
-        .add(std::uint64_t{ours.rounds})
-        .add(std::uint64_t{kvy.rounds})
-        .add(std::uint64_t{kmw.rounds})
-        .add(ld / std::max(std::log2(ld), 1.0), 2)
-        .add(ours.certified_ratio, 3);
+    util::Table& row = t.row();
+    row.add(std::uint64_t{d});
+    for (const char* algo : bench::kComparedAlgos) {
+      row.add(std::uint64_t{r.at(algo).rounds});
+    }
+    row.add(ld / std::max(std::log2(ld), 1.0), 2);
+    row.add(r.at("mwhvc").certified_ratio, 3);
   }
   t.print(std::cout);
 }
@@ -78,16 +74,14 @@ void print_dense_random() {
   for (const std::uint32_t f : {2u, 3u, 5u, 8u}) {
     const auto g = hg::random_uniform(4000, 12000, f,
                                       hg::exponential_weights(kLogW), 17);
-    const auto ours = bench::run_mwhvc(g, kEps);
-    const auto kvy = bench::run_kvy(g, kEps);
-    const auto kmw = bench::run_kmw(g, kEps);
-    t.row()
-        .add(std::uint64_t{f})
-        .add(std::uint64_t{g.max_degree()})
-        .add(std::uint64_t{ours.rounds})
-        .add(std::uint64_t{kvy.rounds})
-        .add(std::uint64_t{kmw.rounds})
-        .add(ours.certified_ratio, 3);
+    const auto r = bench::run_compared(g, kEps);
+    util::Table& row = t.row();
+    row.add(std::uint64_t{f});
+    row.add(std::uint64_t{g.max_degree()});
+    for (const char* algo : bench::kComparedAlgos) {
+      row.add(std::uint64_t{r.at(algo).rounds});
+    }
+    row.add(r.at("mwhvc").certified_ratio, 3);
   }
   t.print(std::cout);
 }

@@ -1,30 +1,38 @@
 // Command-line solver: read a hypergraph (file or stdin, format of
-// hypergraph/io.hpp), run a chosen algorithm, print the cover and its
-// certificate, optionally machine-readably.
+// hypergraph/io.hpp), run any algorithm from the solver registry, print
+// the cover and its certificate, optionally machine-readably.
 //
-//   ./hypercover_cli --input=instance.hg [--algo=mwhvc|kmw|kvy|greedy|
-//       local-ratio] [--eps=0.5] [--appendix-c] [--alpha=<fixed>]
-//       [--threads=1] [--dense] [--f-approx] [--quiet] [--cover-only]
+//   ./hypercover_cli --input=instance.hg [--algo=<name>] [--list-algos]
+//       [--eps=0.5] [--appendix-c] [--alpha=<fixed>] [--threads=1]
+//       [--dense] [--f-approx] [--max-rounds=N] [--quiet] [--cover-only]
 //       [--stats-json[=path]]
+//
+// --list-algos prints one `name<TAB>kind<TAB>description` line per
+// registered algorithm (the valid --algo values) and exits. Dispatch is
+// entirely registry-driven: a newly registered algorithm is available
+// here with no CLI change.
 //
 // --threads=N steps agents on N workers (0 = one per hardware thread);
 // the run is bit-identical at any value. --dense forces the reference
 // dense engine schedule (for A/B comparisons; also bit-identical).
-// --stats-json dumps a machine-readable RunStats record (rounds, bits,
-// messages, transcript hash, engine work counters, wall time) to stdout,
-// or to a file when given a path — the scripted perf-tracking hook.
+// --stats-json dumps a machine-readable record (algorithm, RunStats,
+// transcript hash, engine work counters, verification certificate, wall
+// time) to stdout, or to a file when given a path — the scripted
+// perf-tracking hook (scripts/bench_json.py --solve-json folds it into
+// the perf trajectory).
 //
 // Exit code 0 on success (cover verified), 2 on verification failure,
-// 1 on usage/input errors.
+// 1 on usage/input errors. The stats record is emitted even when
+// verification fails (e.g. a --max-rounds-truncated run) so partial runs
+// can be tracked; its certificate object reports the failure.
 
-#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
-#include "baselines/kmw.hpp"
-#include "baselines/kvy.hpp"
-#include "baselines/sequential.hpp"
+#include "api/registry.hpp"
 #include "core/mwhvc.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
@@ -35,15 +43,39 @@ namespace {
 
 using namespace hypercover;
 
-/// Renders the run record as a single JSON object. The transcript hash is
-/// emitted as a hex string: JSON numbers lose 64-bit integer precision.
-std::string stats_json(const std::string& algo, const congest::RunStats& net,
-                       std::uint32_t threads, bool dense, double wall_ms,
-                       const verify::Certificate& cert,
-                       std::size_t cover_size) {
+/// JSON has no infinity literal; certified_ratio is +inf when a valid
+/// cover comes with an empty dual packing (greedy). Emit null there.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Renders the solve record as a single JSON object. The transcript hash
+/// is emitted as a hex string: JSON numbers lose 64-bit integer
+/// precision.
+std::string stats_json(const api::Solution& sol, std::uint32_t threads,
+                       bool dense, std::size_t cover_size) {
+  const congest::RunStats& net = sol.net;
+  const verify::Certificate& cert = sol.certificate;
   std::ostringstream os;
   os << "{\n";
-  os << "  \"algo\": \"" << algo << "\",\n";
+  os << "  \"algo\": \"" << json_escape(sol.algorithm) << "\",\n";
   os << "  \"threads\": " << threads << ",\n";
   os << "  \"scheduling\": \"" << (dense ? "dense" : "active") << "\",\n";
   os << "  \"rounds\": " << net.rounds << ",\n";
@@ -63,13 +95,39 @@ std::string stats_json(const std::string& algo, const congest::RunStats& net,
   os << "  \"cover_weight\": " << cert.cover_weight << ",\n";
   os << "  \"cover_size\": " << cover_size << ",\n";
   os << "  \"dual_total\": " << cert.dual_total << ",\n";
-  os << "  \"certified_ratio\": " << cert.certified_ratio << ",\n";
-  os << "  \"wall_ms\": " << wall_ms << "\n";
+  os << "  \"certified_ratio\": " << json_number(cert.certified_ratio)
+     << ",\n";
+  os << "  \"certificate\": {\n";
+  os << "    \"valid\": " << (cert.valid() ? "true" : "false") << ",\n";
+  os << "    \"cover_valid\": " << (cert.cover_valid ? "true" : "false")
+     << ",\n";
+  os << "    \"packing_feasible\": "
+     << (cert.packing_feasible ? "true" : "false") << ",\n";
+  os << "    \"error\": \"" << json_escape(cert.error) << "\"\n";
+  os << "  },\n";
+  os << "  \"wall_ms\": " << sol.wall_ms << "\n";
   os << "}\n";
   return os.str();
 }
 
 int run(const util::Cli& cli) {
+  if (cli.has("list-algos")) {
+    for (const api::Solver& s : api::solvers()) {
+      std::cout << s.name << "\t"
+                << (s.steppable ? "distributed" : "sequential") << "\t"
+                << s.description << "\n";
+    }
+    return 0;
+  }
+
+  const std::string algo = cli.get("algo", std::string("mwhvc"));
+  const api::Solver* solver = api::find_solver(algo);
+  if (solver == nullptr) {
+    std::cerr << "error: unknown --algo=" << algo << " (--list-algos prints"
+              << " the registered names)\n";
+    return 1;
+  }
+
   hg::Hypergraph g;
   const std::string path = cli.get("input", std::string("-"));
   if (path == "-") {
@@ -85,132 +143,93 @@ int run(const util::Cli& cli) {
   const bool quiet = cli.has("quiet");
   if (!quiet) std::cerr << "instance: " << hg::compute_stats(g) << "\n";
 
-  const std::string algo = cli.get("algo", std::string("mwhvc"));
-  const double eps =
-      cli.has("f-approx") ? core::f_approx_epsilon(g) : cli.get("eps", 0.5);
+  constexpr std::int64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
   const std::int64_t threads_arg = cli.get("threads", 1);
-  if (threads_arg < 0) {
-    std::cerr << "error: --threads must be >= 0\n";
+  if (threads_arg < 0 || threads_arg > kU32Max) {
+    std::cerr << "error: --threads must be in [0, " << kU32Max << "]\n";
     return 1;
   }
   const auto threads = static_cast<std::uint32_t>(threads_arg);
   const bool dense = cli.has("dense");
-  const auto scheduling =
-      dense ? congest::Scheduling::kDense : congest::Scheduling::kActive;
-
-  std::vector<bool> cover;
-  std::vector<double> duals(g.num_edges(), 0.0);
-  std::uint32_t rounds = 0;
-  congest::RunStats net;
-  const auto wall_start = std::chrono::steady_clock::now();
-  if (algo == "mwhvc") {
-    core::MwhvcOptions o;
-    o.eps = eps;
-    o.appendix_c = cli.has("appendix-c");
-    if (cli.has("alpha")) {
-      o.alpha_mode = core::AlphaMode::kFixed;
-      o.alpha_fixed = cli.get("alpha", 2.0);
-    }
-    o.engine.threads = threads;
-    o.engine.scheduling = scheduling;
-    const auto res = core::solve_mwhvc(g, o);
-    cover = res.in_cover;
-    duals = res.duals;
-    rounds = res.net.rounds;
-    net = res.net;
-    if (!quiet) std::cerr << "network: " << res.net << "\n";
-  } else if (algo == "kmw") {
-    baselines::KmwOptions o;
-    o.eps = eps;
-    o.engine.threads = threads;
-    o.engine.scheduling = scheduling;
-    const auto res = baselines::solve_kmw(g, o);
-    cover = res.in_cover;
-    duals = res.duals;
-    rounds = res.net.rounds;
-    net = res.net;
-  } else if (algo == "kvy") {
-    baselines::KvyOptions o;
-    o.eps = eps;
-    o.engine.threads = threads;
-    o.engine.scheduling = scheduling;
-    const auto res = baselines::solve_kvy(g, o);
-    cover = res.in_cover;
-    duals = res.duals;
-    rounds = res.net.rounds;
-    net = res.net;
-  } else if (algo == "greedy") {
-    if (cli.has("threads") && threads != 1) {
-      std::cerr << "note: --threads ignored by the sequential greedy solver\n";
-    }
-    cover = baselines::greedy_cover(g);
-  } else if (algo == "local-ratio") {
-    if (cli.has("threads") && threads != 1) {
-      std::cerr << "note: --threads ignored by the sequential local-ratio "
-                   "solver\n";
-    }
-    const auto res = baselines::local_ratio_cover(g);
-    cover = res.in_cover;
-    duals = res.duals;
-  } else {
-    std::cerr << "error: unknown --algo=" << algo << "\n";
-    return 1;
+  if (!solver->steppable && cli.has("threads") && threads != 1) {
+    std::cerr << "note: --threads ignored by the sequential " << algo
+              << " solver\n";
   }
 
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - wall_start)
-          .count();
+  api::SolveRequest req;
+  req.eps = cli.get("eps", 0.5);
+  req.f_approx = cli.has("f-approx");
+  req.engine.threads = threads;
+  req.engine.scheduling =
+      dense ? congest::Scheduling::kDense : congest::Scheduling::kActive;
+  if (cli.has("max-rounds")) {
+    const std::int64_t max_rounds =
+        cli.get("max-rounds", std::int64_t{1} << 20);
+    if (max_rounds <= 0 || max_rounds > kU32Max) {
+      std::cerr << "error: --max-rounds must be in [1, " << kU32Max << "]\n";
+      return 1;
+    }
+    req.engine.max_rounds = static_cast<std::uint32_t>(max_rounds);
+  }
+  req.mwhvc.appendix_c = cli.has("appendix-c");
+  if (cli.has("alpha")) {
+    req.mwhvc.alpha_mode = core::AlphaMode::kFixed;
+    req.mwhvc.alpha_fixed = cli.get("alpha", 2.0);
+  }
 
-  const auto cert = verify::certify(g, cover, duals);
+  const api::Solution sol = api::solve(algo, g, req);
+  if (!quiet && solver->steppable) {
+    std::cerr << "network: " << sol.net << "\n";
+  }
+
+  const verify::Certificate& cert = sol.certificate;
+  std::size_t cover_size = 0;
+  for (const bool b : sol.in_cover) cover_size += b;
+  // The stats record is written even for a failed/partial run (the
+  // certificate object in it says so); the exit code still reports the
+  // verification failure below.
+  bool json_on_stdout = false;
+  if (cli.has("stats-json")) {
+    const std::string json = stats_json(sol, threads, dense, cover_size);
+    const std::string out_path = cli.get("stats-json", std::string("-"));
+    // A bare --stats-json (no =path) parses as "1": dump to stdout, and
+    // suppress the human-readable block below so stdout stays parseable
+    // (--cover-only still appends its vertex list).
+    if (out_path == "-" || out_path == "1" || out_path.empty()) {
+      std::cout << json;
+      json_on_stdout = true;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << json;
+      if (!quiet) std::cerr << "stats written to " << out_path << "\n";
+    }
+  }
   if (!cert.cover_valid) {
     std::cerr << "VERIFICATION FAILED: " << cert.error << "\n";
     return 2;
   }
-  bool json_on_stdout = false;
-  if (cli.has("stats-json")) {
-    std::size_t cover_size = 0;
-    for (const bool b : cover) cover_size += b;
-    const std::string json =
-        stats_json(algo, net, threads, dense, wall_ms, cert, cover_size);
-    const std::string path = cli.get("stats-json", std::string("-"));
-    // A bare --stats-json (no =path) parses as "1": dump to stdout, and
-    // suppress the human-readable block below so stdout stays parseable
-    // (--cover-only still appends its vertex list).
-    if (path == "-" || path == "1" || path.empty()) {
-      std::cout << json;
-      json_on_stdout = true;
-    } else {
-      std::ofstream out(path);
-      if (!out) {
-        std::cerr << "error: cannot write " << path << "\n";
-        return 1;
-      }
-      out << json;
-      if (!quiet) std::cerr << "stats written to " << path << "\n";
-    }
-  }
   if (cli.has("cover-only")) {
     for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (cover[v]) std::cout << v << "\n";
+      if (sol.in_cover[v]) std::cout << v << "\n";
     }
     return 0;
   }
   if (json_on_stdout) return 0;
-  std::cout << "algorithm: " << algo << "\n";
+  std::cout << "algorithm: " << sol.algorithm << "\n";
   std::cout << "cover_weight: " << cert.cover_weight << "\n";
-  std::cout << "cover_size: ";
-  std::size_t size = 0;
-  for (const bool b : cover) size += b;
-  std::cout << size << "\n";
+  std::cout << "cover_size: " << cover_size << "\n";
   if (cert.dual_total > 0) {
     std::cout << "dual_lower_bound: " << cert.dual_total << "\n";
     std::cout << "certified_ratio: " << cert.certified_ratio << "\n";
   }
-  if (rounds > 0) std::cout << "rounds: " << rounds << "\n";
+  if (sol.net.rounds > 0) std::cout << "rounds: " << sol.net.rounds << "\n";
   std::cout << "cover:";
   for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (cover[v]) std::cout << ' ' << v;
+    if (sol.in_cover[v]) std::cout << ' ' << v;
   }
   std::cout << "\n";
   return 0;

@@ -10,15 +10,12 @@
 
 #include <iostream>
 
-#include "baselines/kmw.hpp"
-#include "baselines/kvy.hpp"
-#include "core/mwhvc.hpp"
+#include "api/registry.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/stats.hpp"
 #include "hypergraph/weights.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-#include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
   using namespace hypercover;
@@ -33,40 +30,29 @@ int main(int argc, char** argv) {
       hg::gnp(n, p, hg::exponential_weights(wspread), seed);
   std::cout << "network: " << hg::compute_stats(g) << "\n\n";
 
-  core::MwhvcOptions mopts;
-  mopts.eps = eps;
-  const auto ours = core::solve_mwhvc(g, mopts);
-  baselines::KmwOptions kopts;
-  kopts.eps = eps;
-  const auto kmw = baselines::solve_kmw(g, kopts);
-  baselines::KvyOptions vopts;
-  vopts.eps = eps;
-  const auto kvy = baselines::solve_kvy(g, vopts);
+  // All three algorithms run through the solver registry: one request,
+  // one certified Solution type, no per-solver plumbing.
+  api::SolveRequest req;
+  req.eps = eps;
 
   util::Table t({"algorithm", "rounds", "messages", "cover cost",
                  "certified ratio <="});
-  const auto row = [&](const char* name, std::uint32_t rounds,
-                       std::uint64_t msgs, hg::Weight cost,
-                       const std::vector<bool>& cover,
-                       const std::vector<double>& duals) {
-    const auto cert = verify::certify(g, cover, duals);
-    if (!cert.valid()) {
-      std::cerr << name << " failed verification: " << cert.error << "\n";
+  api::Solution ours;
+  for (const char* algo : {"mwhvc", "kmw", "kvy"}) {
+    api::Solution sol = api::solve(algo, g, req);
+    if (!sol.certificate.valid()) {
+      std::cerr << algo << " failed verification: " << sol.certificate.error
+                << "\n";
       std::exit(1);
     }
     t.row()
-        .add(name)
-        .add(std::uint64_t{rounds})
-        .add(msgs)
-        .add(cost)
-        .add(cert.certified_ratio, 3);
-  };
-  row("mwhvc (this paper)", ours.net.rounds, ours.net.total_messages,
-      ours.cover_weight, ours.in_cover, ours.duals);
-  row("kmw uniform-increase", kmw.net.rounds, kmw.net.total_messages,
-      kmw.cover_weight, kmw.in_cover, kmw.duals);
-  row("kvy proportional", kvy.net.rounds, kvy.net.total_messages,
-      kvy.cover_weight, kvy.in_cover, kvy.duals);
+        .add(sol.algorithm)
+        .add(std::uint64_t{sol.net.rounds})
+        .add(sol.net.total_messages)
+        .add(sol.cover_weight)
+        .add(sol.certificate.certified_ratio, 3);
+    if (sol.algorithm == "mwhvc") ours = std::move(sol);
+  }
   t.print(std::cout);
 
   std::cout << "\nguarantee for all three: (2 + " << eps << ") x optimal;\n"

@@ -7,10 +7,17 @@ the file is a perf *trajectory*: the dense-scheduling points (benchmark
 names ending in /0) exercise the pre-frontier reference engine and serve
 as the baseline the activity-driven points (/1) must beat.
 
+End-to-end solve records from `hypercover_cli --stats-json=<file>` can be
+folded into the same run record with --solve-json (repeatable). The solve
+schema carries the registry algorithm name ("algo") and the verification
+certificate ("certificate": valid / cover_valid / packing_feasible /
+error) alongside the RunStats fields.
+
 Usage (or just `cmake --build build --target bench_json`):
   scripts/bench_json.py --bench build/bench_e11_engine_micro \
       [--out BENCH_engine.json] [--label "..."] \
-      [--filter DigestGuard] [--min-time 0.05] [--keep 8]
+      [--filter DigestGuard] [--min-time 0.05] [--keep 8] \
+      [--solve-json stats.json ...]
 """
 
 import argparse
@@ -31,6 +38,34 @@ def run_bench(bench, bench_filter, min_time):
     print(f"+ {' '.join(cmd)}", file=sys.stderr)
     proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
     return json.loads(proc.stdout)
+
+
+# hypercover_cli --stats-json fields folded into the run record. "algo"
+# names the registry algorithm; "certificate" is the verification object
+# (valid / cover_valid / packing_feasible / error).
+SOLVE_FIELDS = (
+    "algo", "threads", "scheduling", "rounds", "completed",
+    "total_messages", "total_bits", "max_message_bits",
+    "bandwidth_limit_bits", "bandwidth_violations", "transcript_hash",
+    "agents_visited", "agent_steps", "slots_processed",
+    "sparse_account_passes", "dense_account_passes", "cover_weight",
+    "cover_size", "dual_total", "certified_ratio", "certificate",
+    "wall_ms",
+)
+
+
+def summarize_solve(path):
+    """Validate and trim one hypercover_cli --stats-json record."""
+    record = json.loads(pathlib.Path(path).read_text())
+    for required in ("algo", "certificate"):
+        if required not in record:
+            raise SystemExit(
+                f"error: {path} lacks the '{required}' field; is it a "
+                "hypercover_cli --stats-json record?")
+    if not record["certificate"].get("valid", False):
+        print(f"warning: {path}: certificate is not valid "
+              f"({record['certificate'].get('error', '')})", file=sys.stderr)
+    return {key: record[key] for key in SOLVE_FIELDS if key in record}
 
 
 def summarize(raw):
@@ -58,8 +93,12 @@ def summarize(raw):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", required=True,
+    ap.add_argument("--bench",
                     help="path to the bench_e11_engine_micro binary")
+    ap.add_argument("--solve-json", action="append", default=[],
+                    metavar="FILE",
+                    help="hypercover_cli --stats-json record(s) to fold "
+                         "into the run record (algo + certificate schema)")
     ap.add_argument("--out", default="BENCH_engine.json")
     ap.add_argument("--label", default="",
                     help="free-form label for this run (e.g. a commit subject)")
@@ -70,8 +109,12 @@ def main():
     ap.add_argument("--keep", type=int, default=8,
                     help="maximum history entries to retain in --out")
     args = ap.parse_args()
+    if not args.bench and not args.solve_json:
+        ap.error("need --bench and/or --solve-json")
 
-    raw = run_bench(args.bench, args.filter, args.min_time)
+    raw = {}
+    if args.bench:
+        raw = run_bench(args.bench, args.filter, args.min_time)
 
     out = pathlib.Path(args.out)
     doc = {"note": "", "runs": []}
@@ -99,6 +142,8 @@ def main():
         },
         "benchmarks": summarize(raw),
     }
+    if args.solve_json:
+        run_record["solves"] = [summarize_solve(p) for p in args.solve_json]
     doc.setdefault("runs", []).append(run_record)
     doc["runs"] = doc["runs"][-args.keep:]
 

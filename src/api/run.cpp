@@ -1,0 +1,27 @@
+#include "api/run.hpp"
+
+namespace hypercover::api {
+
+RunOutcome drive(ProtocolRun& run, const RunControl& control) {
+  const auto stop = [&run](RunOutcome outcome) {
+    run.outcome_ = outcome;  // recorded for the run's finish()
+    return outcome;
+  };
+  std::uint32_t stepped = 0;
+  while (!run.done()) {
+    if (run.rounds() >= run.max_rounds()) return stop(RunOutcome::kRoundLimit);
+    if (control.cancel != nullptr &&
+        control.cancel->load(std::memory_order_relaxed)) {
+      return stop(RunOutcome::kCancelled);
+    }
+    if (control.round_budget != 0 && stepped >= control.round_budget) {
+      return stop(RunOutcome::kBudgetExhausted);
+    }
+    run.step_round();
+    ++stepped;
+    if (control.on_round) control.on_round(run);
+  }
+  return stop(RunOutcome::kCompleted);
+}
+
+}  // namespace hypercover::api

@@ -1,0 +1,73 @@
+#pragma once
+// The unified result vocabulary of the solver API.
+//
+// Every algorithm in the registry — Algorithm MWHVC (§3), the KMW/KVY
+// baselines (Tables 1–2), and the sequential references — reports through
+// one `Solution` type, so benches, pipelines, and the CLI compare
+// algorithms without per-solver plumbing. The richer per-algorithm result
+// types are rebased on the same core: `core::MwhvcResult` derives from
+// `Solution`, and `baselines::BaselineResult` is an alias of
+// `SolutionCore`, so a field never exists twice.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/stats.hpp"
+#include "core/protocol.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::api {
+
+/// Fields every cover-producing algorithm shares — distributed or
+/// sequential, paper algorithm or baseline. This is the common base of
+/// `Solution`, `core::MwhvcResult`, and `baselines::BaselineResult`.
+struct SolutionCore {
+  /// in_cover[v] — the computed cover C.
+  std::vector<bool> in_cover;
+  hg::Weight cover_weight = 0;
+  /// Final dual variables δ(e): a feasible edge packing whose sum
+  /// certifies the approximation ratio via weak duality (Claim 20).
+  /// All-zero for algorithms that construct no duals (greedy).
+  std::vector<double> duals;
+  double dual_total = 0;
+  /// Primal-dual iterations executed (algorithm-specific round schedule).
+  std::uint32_t iterations = 0;
+  /// The CONGEST execution record (all-default for sequential solvers
+  /// except `completed`, which is always true for them).
+  congest::RunStats net;
+};
+
+/// How a driven `ProtocolRun` ended (see api/run.hpp). Sequential solvers
+/// always report kCompleted.
+enum class RunOutcome : std::uint8_t {
+  kCompleted,        ///< every agent halted
+  kRoundLimit,       ///< the engine's max_rounds hard stop was reached
+  kBudgetExhausted,  ///< RunControl::round_budget rounds were stepped
+  kCancelled,        ///< RunControl::cancel was observed set
+};
+
+/// The one certified result type of the solver API. A partial solution
+/// (budget/cancel stop) is well-formed: vectors keep their full instance
+/// size, `net.completed` is false, and the certificate records whether
+/// the partial cover already happens to be valid.
+struct Solution : SolutionCore {
+  /// Registry name of the algorithm that produced this solution.
+  std::string algorithm;
+  /// Final level l(v) of every vertex (MWHVC family, always < z by
+  /// Claim 4); empty for algorithms without level machinery.
+  std::vector<std::uint32_t> levels;
+  /// Execution trace (populated by the MWHVC family when
+  /// `MwhvcOptions::collect_trace` is set; default-empty otherwise).
+  core::Trace trace;
+  RunOutcome outcome = RunOutcome::kCompleted;
+  /// Wall-clock time of the solve, filled by api::solve().
+  double wall_ms = 0;
+  /// Auto-attached verification: cover validity, dual feasibility, and
+  /// the certified ratio, re-checked from the raw instance by
+  /// verify::certify() — never trusted to the solver.
+  verify::Certificate certificate;
+};
+
+}  // namespace hypercover::api

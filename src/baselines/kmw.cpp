@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "baselines/run_state.hpp"
 #include "congest/engine.hpp"
 #include "core/params.hpp"
 #include "util/math.hpp"
@@ -155,7 +156,10 @@ struct Protocol {
 
 }  // namespace
 
-BaselineResult solve_kmw(const hg::Hypergraph& g, const KmwOptions& opts) {
+struct KmwRun::Impl
+    : detail::BaselineRunState<Protocol, KmwOptions, Shared> {};
+
+KmwRun::KmwRun(const hg::Hypergraph& g, const KmwOptions& opts) {
   if (!(opts.eps > 0.0) || opts.eps > 1.0) {
     throw std::invalid_argument("solve_kmw: eps must be in (0, 1]");
   }
@@ -163,44 +167,64 @@ BaselineResult solve_kmw(const hg::Hypergraph& g, const KmwOptions& opts) {
   const std::uint32_t f =
       opts.f_override != 0 ? std::max(opts.f_override, rank) : rank;
 
-  BaselineResult res;
-  res.in_cover.assign(g.num_vertices(), false);
-  res.duals.assign(g.num_edges(), 0.0);
-  if (g.num_edges() == 0) {
-    res.net.completed = true;
-    return res;
-  }
+  impl_ = std::make_unique<Impl>();
+  if (!impl_->init(g, opts)) return;  // edge-free: complete immediately
 
   hg::Weight w_min = std::numeric_limits<hg::Weight>::max();
   for (const hg::Weight w : g.weights()) w_min = std::min(w_min, w);
 
-  Shared shared;
+  Shared& shared = impl_->shared;
   shared.graph = &g;
   shared.beta = core::beta_for(f, opts.eps);
   shared.delta0 =
       static_cast<double>(w_min) / (2.0 * std::max(g.max_degree(), 1u));
 
-  congest::Engine<Protocol> eng(g, opts.engine);
+  congest::Engine<Protocol>& eng = *impl_->eng;
   for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
     eng.vertex_agents()[v].configure(&shared, v);
   }
   for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
     eng.edge_agents()[e].configure(&shared, e);
   }
-  res.net = eng.run();
-  res.iterations = (res.net.rounds + 1) / 2;
+}
 
-  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (eng.vertex_agent(v).in_cover()) {
-      res.in_cover[v] = true;
-      res.cover_weight += g.weight(v);
-    }
-  }
-  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
-    res.duals[e] = eng.edge_agent(e).delta;
-    res.dual_total += res.duals[e];
-  }
-  return res;
+KmwRun::~KmwRun() = default;
+KmwRun::KmwRun(KmwRun&&) noexcept = default;
+KmwRun& KmwRun::operator=(KmwRun&&) noexcept = default;
+
+void KmwRun::step_round() { impl_->step_round(); }
+
+bool KmwRun::done() const { return impl_->done(); }
+
+std::uint32_t KmwRun::rounds() const { return impl_->round; }
+
+std::size_t KmwRun::live_agents() const { return impl_->live_agents(); }
+
+const congest::RunStats& KmwRun::stats() const { return impl_->stats(); }
+
+std::uint32_t KmwRun::max_rounds() const {
+  return impl_->opts.engine.max_rounds;
+}
+
+const KmwOptions& KmwRun::options() const { return impl_->opts; }
+
+BaselineResult KmwRun::finish_result() {
+  // 2 rounds per iteration, no init rounds.
+  return impl_->finish([](std::uint32_t rounds) { return (rounds + 1) / 2; });
+}
+
+api::Solution KmwRun::finish() {
+  api::Solution sol;
+  static_cast<api::SolutionCore&>(sol) = finish_result();
+  sol.algorithm = "kmw";
+  sol.outcome = finish_outcome(sol.net.completed);
+  return sol;
+}
+
+BaselineResult solve_kmw(const hg::Hypergraph& g, const KmwOptions& opts) {
+  KmwRun run(g, opts);
+  api::drive(run);
+  return run.finish_result();
 }
 
 }  // namespace hypercover::baselines

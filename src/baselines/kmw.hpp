@@ -25,6 +25,9 @@
 // Schedule: 2 rounds per iteration (1-bit messages, no init rounds)
 //   V->E: Covered | Continue        E->V: Covered | Scaled
 
+#include <memory>
+
+#include "api/run.hpp"
 #include "baselines/result.hpp"
 #include "hypergraph/hypergraph.hpp"
 
@@ -34,6 +37,40 @@ struct KmwOptions {
   double eps = 0.5;  ///< approximation slack, in (0, 1]
   std::uint32_t f_override = 0;
   congest::Options engine;
+};
+
+/// Steppable KMW run: the guarded multiplicative-scaling protocol on a
+/// configured CONGEST engine, exposed round by round through
+/// api::ProtocolRun. solve_kmw() is a thin api::drive() loop over this
+/// class; a stepped run is bit-identical to the one-shot solve at every
+/// thread count and scheduling mode.
+///
+/// The graph must outlive the run. After finish() / finish_result() the
+/// run is exhausted and must not be stepped again.
+class KmwRun final : public api::ProtocolRun {
+ public:
+  /// Validates options (throws std::invalid_argument) and configures the
+  /// engine. An edge-free instance is complete immediately.
+  KmwRun(const hg::Hypergraph& g, const KmwOptions& opts = {});
+  ~KmwRun() override;
+  KmwRun(KmwRun&&) noexcept;
+  KmwRun& operator=(KmwRun&&) noexcept;
+
+  void step_round() override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] std::uint32_t rounds() const override;
+  [[nodiscard]] std::size_t live_agents() const override;
+  [[nodiscard]] const congest::RunStats& stats() const override;
+  [[nodiscard]] std::uint32_t max_rounds() const override;
+  [[nodiscard]] const KmwOptions& options() const;
+  /// Result in the baseline vocabulary (solve_kmw's return type).
+  [[nodiscard]] BaselineResult finish_result();
+  /// api::ProtocolRun interface: finish_result() as a unified Solution.
+  [[nodiscard]] api::Solution finish() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 [[nodiscard]] BaselineResult solve_kmw(const hg::Hypergraph& g,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "baselines/run_state.hpp"
 #include "congest/engine.hpp"
 #include "core/params.hpp"
 #include "util/math.hpp"
@@ -184,7 +185,10 @@ struct Protocol {
 
 }  // namespace
 
-BaselineResult solve_kvy(const hg::Hypergraph& g, const KvyOptions& opts) {
+struct KvyRun::Impl
+    : detail::BaselineRunState<Protocol, KvyOptions, Shared> {};
+
+KvyRun::KvyRun(const hg::Hypergraph& g, const KvyOptions& opts) {
   if (!(opts.eps > 0.0) || opts.eps > 1.0) {
     throw std::invalid_argument("solve_kvy: eps must be in (0, 1]");
   }
@@ -192,39 +196,60 @@ BaselineResult solve_kvy(const hg::Hypergraph& g, const KvyOptions& opts) {
   const std::uint32_t f =
       opts.f_override != 0 ? std::max(opts.f_override, rank) : rank;
 
-  BaselineResult res;
-  res.in_cover.assign(g.num_vertices(), false);
-  res.duals.assign(g.num_edges(), 0.0);
-  if (g.num_edges() == 0) {
-    res.net.completed = true;
-    return res;
-  }
+  impl_ = std::make_unique<Impl>();
+  if (!impl_->init(g, opts)) return;  // edge-free: complete immediately
 
-  Shared shared;
+  Shared& shared = impl_->shared;
   shared.graph = &g;
   shared.beta = core::beta_for(f, opts.eps);
 
-  congest::Engine<Protocol> eng(g, opts.engine);
+  congest::Engine<Protocol>& eng = *impl_->eng;
   for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
     eng.vertex_agents()[v].configure(&shared, v);
   }
   for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
     eng.edge_agents()[e].configure(&shared, e);
   }
-  res.net = eng.run();
-  res.iterations = res.net.rounds > 1 ? (res.net.rounds - 1 + 1) / 2 : 0;
+}
 
-  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (eng.vertex_agent(v).in_cover()) {
-      res.in_cover[v] = true;
-      res.cover_weight += g.weight(v);
-    }
-  }
-  for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
-    res.duals[e] = eng.edge_agent(e).delta;
-    res.dual_total += res.duals[e];
-  }
-  return res;
+KvyRun::~KvyRun() = default;
+KvyRun::KvyRun(KvyRun&&) noexcept = default;
+KvyRun& KvyRun::operator=(KvyRun&&) noexcept = default;
+
+void KvyRun::step_round() { impl_->step_round(); }
+
+bool KvyRun::done() const { return impl_->done(); }
+
+std::uint32_t KvyRun::rounds() const { return impl_->round; }
+
+std::size_t KvyRun::live_agents() const { return impl_->live_agents(); }
+
+const congest::RunStats& KvyRun::stats() const { return impl_->stats(); }
+
+std::uint32_t KvyRun::max_rounds() const {
+  return impl_->opts.engine.max_rounds;
+}
+
+const KvyOptions& KvyRun::options() const { return impl_->opts; }
+
+BaselineResult KvyRun::finish_result() {
+  // 1 init round, then 2 rounds per iteration.
+  return impl_->finish(
+      [](std::uint32_t rounds) { return rounds > 1 ? rounds / 2 : 0; });
+}
+
+api::Solution KvyRun::finish() {
+  api::Solution sol;
+  static_cast<api::SolutionCore&>(sol) = finish_result();
+  sol.algorithm = "kvy";
+  sol.outcome = finish_outcome(sol.net.completed);
+  return sol;
+}
+
+BaselineResult solve_kvy(const hg::Hypergraph& g, const KvyOptions& opts) {
+  KvyRun run(g, opts);
+  api::drive(run);
+  return run.finish_result();
 }
 
 }  // namespace hypercover::baselines

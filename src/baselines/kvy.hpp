@@ -20,6 +20,9 @@
 // Schedule: 1 init round, then 2 rounds per iteration
 //   E->V: Covered | Bid{resid*, deg*}      V->E: Covered | Resid{resid, deg'}
 
+#include <memory>
+
+#include "api/run.hpp"
 #include "baselines/result.hpp"
 #include "hypergraph/hypergraph.hpp"
 
@@ -29,6 +32,40 @@ struct KvyOptions {
   double eps = 0.5;  ///< approximation slack, in (0, 1]
   std::uint32_t f_override = 0;
   congest::Options engine;
+};
+
+/// Steppable KVY run: the proportional dual-raising protocol on a
+/// configured CONGEST engine, exposed round by round through
+/// api::ProtocolRun. solve_kvy() is a thin api::drive() loop over this
+/// class; a stepped run is bit-identical to the one-shot solve at every
+/// thread count and scheduling mode.
+///
+/// The graph must outlive the run. After finish() / finish_result() the
+/// run is exhausted and must not be stepped again.
+class KvyRun final : public api::ProtocolRun {
+ public:
+  /// Validates options (throws std::invalid_argument) and configures the
+  /// engine. An edge-free instance is complete immediately.
+  KvyRun(const hg::Hypergraph& g, const KvyOptions& opts = {});
+  ~KvyRun() override;
+  KvyRun(KvyRun&&) noexcept;
+  KvyRun& operator=(KvyRun&&) noexcept;
+
+  void step_round() override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] std::uint32_t rounds() const override;
+  [[nodiscard]] std::size_t live_agents() const override;
+  [[nodiscard]] const congest::RunStats& stats() const override;
+  [[nodiscard]] std::uint32_t max_rounds() const override;
+  [[nodiscard]] const KvyOptions& options() const;
+  /// Result in the baseline vocabulary (solve_kvy's return type).
+  [[nodiscard]] BaselineResult finish_result();
+  /// api::ProtocolRun interface: finish_result() as a unified Solution.
+  [[nodiscard]] api::Solution finish() override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 [[nodiscard]] BaselineResult solve_kvy(const hg::Hypergraph& g,

@@ -1,22 +1,14 @@
 #pragma once
-// Shared result type for the distributed baseline algorithms.
+// Result type for the distributed baseline algorithms: exactly the shared
+// core of the unified solver API (cover, duals, iterations, net stats) —
+// the baselines add nothing on top, so the type is an alias rather than a
+// duplicate field list. The registry (api::solve) widens it to a full
+// api::Solution with certificate and wall time.
 
-#include <cstdint>
-#include <vector>
-
-#include "congest/stats.hpp"
-#include "hypergraph/hypergraph.hpp"
+#include "api/solution.hpp"
 
 namespace hypercover::baselines {
 
-struct BaselineResult {
-  std::vector<bool> in_cover;
-  hg::Weight cover_weight = 0;
-  /// Final dual edge packing (feasible; certifies the ratio via Claim 20).
-  std::vector<double> duals;
-  double dual_total = 0;
-  std::uint32_t iterations = 0;
-  congest::RunStats net;
-};
+using BaselineResult = api::SolutionCore;
 
 }  // namespace hypercover::baselines

@@ -1,0 +1,95 @@
+#pragma once
+// Shared implementation scaffolding for the baseline ProtocolRun pimpls
+// (KmwRun / KvyRun). The engine ownership, round counting, the
+// no-op-once-done stepping rule, and the finish-time stats stamping live
+// here once; each baseline contributes only its protocol agents, option
+// validation, and iterations formula.
+
+#include <memory>
+#include <utility>
+
+#include "baselines/result.hpp"
+#include "congest/engine.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::baselines::detail {
+
+/// Heap-allocated run state: the protocol agents hold pointers into
+/// `shared`, so the Impl owning this has a stable address and the Run
+/// classes stay movable. Requires vertex agents with `in_cover()` and
+/// edge agents with a public `delta` dual.
+template <class Protocol, class Options, class Shared>
+struct BaselineRunState {
+  const hg::Hypergraph* g = nullptr;
+  Options opts;
+  BaselineResult res;  // prefilled arrays; final for an edge-free instance
+  Shared shared;
+  std::unique_ptr<congest::Engine<Protocol>> eng;  // null when m == 0
+  std::uint32_t round = 0;
+
+  /// Prefills the result arrays and constructs the engine. Returns false
+  /// on an edge-free instance, which is complete from the start and
+  /// needs no engine (the caller skips agent configuration).
+  bool init(const hg::Hypergraph& graph, const Options& options) {
+    g = &graph;
+    opts = options;
+    res.in_cover.assign(graph.num_vertices(), false);
+    res.duals.assign(graph.num_edges(), 0.0);
+    if (graph.num_edges() == 0) {
+      res.net.completed = true;
+      return false;
+    }
+    eng = std::make_unique<congest::Engine<Protocol>>(graph, options.engine);
+    return true;
+  }
+
+  /// No-op once done (edge-free instances are done from the start), so
+  /// an extra step never inflates the round count past a one-shot solve.
+  void step_round() {
+    if (eng == nullptr || eng->all_halted()) return;
+    eng->step_round();
+    ++round;
+  }
+
+  [[nodiscard]] bool done() const {
+    return eng == nullptr || eng->all_halted();
+  }
+
+  [[nodiscard]] std::size_t live_agents() const {
+    return eng ? eng->live_agents() : 0;
+  }
+
+  [[nodiscard]] const congest::RunStats& stats() const {
+    return eng ? eng->stats() : res.net;
+  }
+
+  /// Stamps the engine stats and the agents' cover / dual state into the
+  /// extracted result; `iterations_of` maps the executed round count to
+  /// the baseline's iteration count.
+  template <class IterationsOf>
+  [[nodiscard]] BaselineResult finish(IterationsOf iterations_of) {
+    BaselineResult out = std::move(res);
+    if (eng == nullptr) return out;  // edge-free result is already final
+
+    const hg::Hypergraph& graph = *g;
+    congest::Engine<Protocol>& engine = *eng;
+    out.net = engine.stats();
+    out.net.rounds = round;
+    out.net.completed = engine.all_halted();
+    out.iterations = iterations_of(out.net.rounds);
+
+    for (hg::VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (engine.vertex_agent(v).in_cover()) {
+        out.in_cover[v] = true;
+        out.cover_weight += graph.weight(v);
+      }
+    }
+    for (hg::EdgeId e = 0; e < graph.num_edges(); ++e) {
+      out.duals[e] = engine.edge_agent(e).delta;
+      out.dual_total += out.duals[e];
+    }
+    return out;
+  }
+};
+
+}  // namespace hypercover::baselines::detail

@@ -127,6 +127,7 @@ MwhvcRun::MwhvcRun(const hg::Hypergraph& g, const MwhvcOptions& opts) {
 
   impl_ = std::make_unique<Impl>(g, opts);
   MwhvcResult& res = impl_->res;
+  res.algorithm = opts.appendix_c ? "mwhvc-apxc" : "mwhvc";
   res.f = opts.f_override != 0 ? opts.f_override : rank;
   res.beta = beta_for(res.f, opts.eps);
   res.z = level_cap(res.f, opts.eps);
@@ -179,7 +180,9 @@ MwhvcRun& MwhvcRun::operator=(MwhvcRun&&) noexcept = default;
 
 void MwhvcRun::step_round() {
   Impl& im = *impl_;
-  if (im.eng == nullptr) return;  // edge-free: complete from the start
+  // No-op once done (edge-free instances are done from the start), so an
+  // extra step never inflates the round count past the one-shot solve.
+  if (im.eng == nullptr || im.eng->all_halted()) return;
   im.eng->step_round();
   ++im.round;
   // The init replies (round index 1) fix δ_0, the Eq. 1 baseline.
@@ -213,9 +216,13 @@ const congest::RunStats& MwhvcRun::stats() const {
   return impl_->eng ? impl_->eng->stats() : impl_->res.net;
 }
 
+std::uint32_t MwhvcRun::max_rounds() const {
+  return impl_->opts.engine.max_rounds;
+}
+
 const MwhvcOptions& MwhvcRun::options() const { return impl_->opts; }
 
-MwhvcResult MwhvcRun::finish() {
+MwhvcResult MwhvcRun::finish_result() {
   Impl& im = *impl_;
   MwhvcResult res = std::move(im.res);
   if (im.eng == nullptr) return res;  // edge-free result is already final
@@ -249,15 +256,19 @@ MwhvcResult MwhvcRun::finish() {
     im.trace.raise_events += eng.edge_agent(e).raises();
   }
   res.trace = std::move(im.trace);
+  res.outcome = finish_outcome(res.net.completed);
   return res;
+}
+
+api::Solution MwhvcRun::finish() {
+  MwhvcResult res = finish_result();
+  return api::Solution(std::move(static_cast<api::Solution&>(res)));
 }
 
 MwhvcResult solve_mwhvc(const hg::Hypergraph& g, const MwhvcOptions& opts) {
   MwhvcRun run(g, opts);
-  while (run.rounds() < opts.engine.max_rounds && !run.done()) {
-    run.step_round();
-  }
-  return run.finish();
+  api::drive(run);
+  return run.finish_result();
 }
 
 std::vector<MwhvcResult> solve_mwhvc_batch(std::span<const MwhvcBatchJob> jobs,

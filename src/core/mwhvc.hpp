@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "api/run.hpp"
+#include "api/solution.hpp"
 #include "congest/stats.hpp"
 #include "core/params.hpp"
 #include "core/protocol.hpp"
@@ -47,26 +49,19 @@ struct MwhvcOptions {
   congest::Options engine;
 };
 
-struct MwhvcResult {
-  /// in_cover[v] — the computed cover C.
-  std::vector<bool> in_cover;
-  hg::Weight cover_weight = 0;
-  /// Final dual variables δ(e) (a feasible edge packing, Claim 2); their
-  /// sum certifies w(C) <= (f + eps) * Σδ <= (f + eps) * OPT (Claim 20).
-  std::vector<double> duals;
-  double dual_total = 0;
-  /// Final level l(v) of every vertex (always < z, Claim 4).
-  std::vector<std::uint32_t> levels;
-  /// Primal-dual iterations executed (each costs 4 network rounds; +2
-  /// initialization rounds).
-  std::uint32_t iterations = 0;
-  congest::RunStats net;
+/// MWHVC result: the unified api::Solution (cover, duals δ(e) whose sum
+/// certifies w(C) <= (f + eps) * Σδ <= (f + eps) * OPT by Claim 20,
+/// per-vertex levels — always < z by Claim 4 —, iterations at 4 network
+/// rounds each + 2 init rounds, trace, net stats) extended with the
+/// derived protocol parameters. `algorithm`, `wall_ms`, and `certificate`
+/// are stamped by the api::solve() registry path; the raw solve_mwhvc()
+/// entry point leaves them default.
+struct MwhvcResult : api::Solution {
   // Derived parameters of the run.
   double beta = 0;
   std::uint32_t z = 0;
   std::uint32_t f = 0;
   double alpha_global = 0;
-  Trace trace;
   // Invariant checking (only meaningful when check_invariants was set).
   bool invariants_ok = true;
   std::string invariant_violation;
@@ -77,38 +72,45 @@ struct MwhvcResult {
                                       const MwhvcOptions& opts = {});
 
 /// Steppable MWHVC run: a configured CONGEST engine plus the derived
-/// protocol parameters, exposed round by round. solve_mwhvc() is a thin
-/// loop over this class; lock-step tests and the sparse-regime benchmarks
-/// use it directly to observe the engine between rounds (transcript hash,
+/// protocol parameters, exposed round by round through the
+/// api::ProtocolRun interface. solve_mwhvc() is a thin api::drive() loop
+/// over this class; lock-step tests and the sparse-regime benchmarks use
+/// it directly to observe the engine between rounds (transcript hash,
 /// live-agent counts, work counters) without re-deriving the parameter
 /// rules. Invariant checking (MwhvcOptions::check_invariants) runs inside
 /// step_round() at the paper's iteration boundaries.
 ///
-/// The graph must outlive the run. After finish() the run is exhausted
-/// and must not be stepped again.
-class MwhvcRun {
+/// The graph must outlive the run. After finish() / finish_result() the
+/// run is exhausted and must not be stepped again.
+class MwhvcRun final : public api::ProtocolRun {
  public:
   /// Validates options (throws std::invalid_argument) and configures the
   /// engine. An edge-free instance is complete immediately.
   MwhvcRun(const hg::Hypergraph& g, const MwhvcOptions& opts);
-  ~MwhvcRun();
+  ~MwhvcRun() override;
   MwhvcRun(MwhvcRun&&) noexcept;
   MwhvcRun& operator=(MwhvcRun&&) noexcept;
 
   /// Executes one synchronous round (no-op on an edge-free instance).
-  void step_round();
+  void step_round() override;
   /// True once every agent halted — the protocol is complete.
-  [[nodiscard]] bool done() const;
+  [[nodiscard]] bool done() const override;
   /// Rounds executed so far.
-  [[nodiscard]] std::uint32_t rounds() const;
+  [[nodiscard]] std::uint32_t rounds() const override;
   /// Non-halted agents (vertices + edges); 0 once done.
-  [[nodiscard]] std::size_t live_agents() const;
+  [[nodiscard]] std::size_t live_agents() const override;
   /// Engine statistics accumulated so far.
-  [[nodiscard]] const congest::RunStats& stats() const;
+  [[nodiscard]] const congest::RunStats& stats() const override;
+  /// The engine's hard round stop.
+  [[nodiscard]] std::uint32_t max_rounds() const override;
   /// The options the run was started with.
   [[nodiscard]] const MwhvcOptions& options() const;
-  /// Extracts the result (cover, duals, levels, trace, net stats).
-  [[nodiscard]] MwhvcResult finish();
+  /// Extracts the full MWHVC result (cover, duals, levels, trace, net
+  /// stats, derived parameters, invariant verdict).
+  [[nodiscard]] MwhvcResult finish_result();
+  /// api::ProtocolRun interface: finish_result() narrowed to the unified
+  /// Solution (drops the derived parameters and invariant verdict).
+  [[nodiscard]] api::Solution finish() override;
 
  private:
   struct Impl;

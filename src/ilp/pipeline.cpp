@@ -20,10 +20,10 @@ PipelineResult solve_covering_ilp(const CoveringIlp& ilp,
   res.rank = hyper.graph.rank();
   res.max_degree = hyper.graph.max_degree();
 
-  core::MwhvcOptions inner_opts = opts.mwhvc;
-  inner_opts.eps = opts.eps;
-  inner_opts.appendix_c = opts.appendix_c;
-  res.inner = core::solve_mwhvc(hyper.graph, inner_opts);
+  api::SolveRequest req = api::request_from(opts.mwhvc, opts.eps);
+  req.mwhvc.appendix_c = opts.appendix_c;
+  req.control = opts.control;
+  res.inner = api::solve(opts.algorithm, hyper.graph, req);
 
   const std::vector<Value> zo_x_values =
       hyper.assignment_from_cover(res.inner.in_cover);

@@ -18,8 +18,10 @@
 // `simulated_round_factor` (see DESIGN.md, simulation substitutions).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "core/mwhvc.hpp"
 #include "ilp/ilp.hpp"
 #include "ilp/to_hypergraph.hpp"
@@ -29,13 +31,20 @@ namespace hypercover::ilp {
 
 struct PipelineOptions {
   double eps = 0.5;
-  /// Forwarded to the inner solver (its eps/appendix_c are overridden).
+  /// Registry name of the inner solver run on the reduced hypergraph
+  /// (api::solvers() enumerates them). The Theorem 19 guarantee is
+  /// stated for the MWHVC family.
+  std::string algorithm = "mwhvc";
+  /// Per-algorithm knobs forwarded to the inner solver (its
+  /// eps/appendix_c are overridden; engine/f_override are forwarded).
   core::MwhvcOptions mwhvc;
   /// Footnote 6: level increments must be <= 1 per iteration when the
   /// ILP network simulates the hypergraph protocol.
   bool appendix_c = true;
   /// Subset-enumeration guard for Lemma 14 (2^support per constraint).
   std::uint32_t max_zo_support = 22;
+  /// Run-level observer / round budget / cancellation for the inner run.
+  api::RunControl control;
 };
 
 struct PipelineResult {
@@ -52,7 +61,9 @@ struct PipelineResult {
   double simulated_round_factor = 1.0;  ///< Claim 15's O(1 + f(A)/log n)
   /// Rounds after applying the simulation factor (Claim 15 accounting).
   double simulated_rounds = 0;
-  core::MwhvcResult inner;
+  /// The inner solver's execution on the reduced hypergraph, in the
+  /// unified solver-API vocabulary (certificate attached).
+  api::Solution inner;
 };
 
 /// Solves the ILP with the (f + eps)-approximate distributed pipeline.

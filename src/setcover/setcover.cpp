@@ -91,20 +91,26 @@ SetCoverResult solve_set_cover(const SetSystem& system,
                                const SetCoverOptions& opts) {
   const hg::Hypergraph g = system.to_hypergraph();
 
-  core::MwhvcOptions inner = opts.mwhvc;
-  inner.eps = opts.eps;
+  api::SolveRequest req = api::request_from(opts.mwhvc, opts.eps);
+  req.control = opts.control;
   SetCoverResult res;
-  res.mwhvc = core::solve_mwhvc(g, inner);
+  res.solution = api::solve(opts.algorithm, g, req);
   res.frequency = g.rank();
-  res.selected = res.mwhvc.in_cover;
+  res.selected = res.solution.in_cover;
   for (SetId s = 0; s < system.num_sets(); ++s) {
     if (res.selected[s]) {
       res.selected_ids.push_back(s);
       res.total_weight += system.weight(s);
     }
   }
-  const auto cert = verify::certify(g, res.mwhvc.in_cover, res.mwhvc.duals);
-  if (!cert.valid()) {
+  // Only a stop the caller asked for (budget / cancel) legitimately
+  // returns a partial selection; an invalid certificate on a completed or
+  // round-limited run is a solver bug, exactly as pre-registry.
+  const verify::Certificate& cert = res.solution.certificate;
+  const bool caller_stopped =
+      res.solution.outcome == api::RunOutcome::kBudgetExhausted ||
+      res.solution.outcome == api::RunOutcome::kCancelled;
+  if (!caller_stopped && !cert.valid()) {
     throw std::logic_error("solve_set_cover: solver output failed "
                            "verification: " + cert.error);
   }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "core/mwhvc.hpp"
 #include "hypergraph/hypergraph.hpp"
 
@@ -65,8 +66,14 @@ class SetSystem {
 
 struct SetCoverOptions {
   double eps = 0.5;
-  /// Forwarded to the solver (its eps is overridden by the field above).
+  /// Registry name of the inner solver (api::solvers() enumerates them).
+  /// The (frequency + eps) guarantee holds for the MWHVC family.
+  std::string algorithm = "mwhvc";
+  /// Per-algorithm knobs forwarded to the solver (its eps is overridden
+  /// by the field above; engine/f_override are forwarded too).
   core::MwhvcOptions mwhvc;
+  /// Run-level observer / round budget / cancellation for the inner run.
+  api::RunControl control;
 };
 
 struct SetCoverResult {
@@ -78,13 +85,22 @@ struct SetCoverResult {
   std::uint32_t frequency = 0;
   /// Certified approximation factor w / Σδ (<= frequency + eps).
   double certified_ratio = 0;
-  /// The underlying distributed execution (rounds, messages, duals...).
-  core::MwhvcResult mwhvc;
+  /// The underlying solver execution (rounds, messages, duals,
+  /// certificate...), in the unified solver-API vocabulary.
+  api::Solution solution;
 };
 
-/// Solves the system with the paper's algorithm; the returned selection is
-/// verified to cover every element (throws std::logic_error otherwise —
-/// that would be a solver bug, not an input error).
+/// Solves the system with the chosen registry algorithm; a completed
+/// run's selection is verified to cover every element (throws
+/// std::logic_error otherwise — that would be a solver bug, not an input
+/// error). A run stopped early by `control` (round budget / cancel)
+/// returns the partial selection instead, with `solution.outcome`
+/// recording why and `solution.certificate` reporting whether the
+/// partial selection already covers everything. Hitting the engine's
+/// max_rounds hard stop is deliberately NOT treated as a requested stop
+/// — it means the solver failed to converge, so it throws like any other
+/// verification failure; bound the work with `control.round_budget`
+/// instead.
 [[nodiscard]] SetCoverResult solve_set_cover(const SetSystem& system,
                                              const SetCoverOptions& opts = {});
 

@@ -1,0 +1,365 @@
+// Solver-API tests: the algorithm registry, the steppable ProtocolRun
+// interface, and the run-level controls (observer, round budget,
+// cooperative cancellation).
+//
+// The acceptance bar of the redesign is locked here: every registry
+// algorithm must return bit-identical covers, duals, and transcript
+// hashes to its pre-refactor solve_* entry point across generator
+// families, and the new KmwRun / KvyRun lock-step runs must match the
+// one-shot solves at every tested thread count — mirroring what
+// engine_frontier_test.cpp asserts for MwhvcRun.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/run.hpp"
+#include "baselines/kmw.hpp"
+#include "baselines/kvy.hpp"
+#include "baselines/sequential.hpp"
+#include "core/mwhvc.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover {
+namespace {
+
+hg::Hypergraph small_instance() {
+  return hg::random_uniform(60, 130, 3, hg::exponential_weights(8), 11);
+}
+
+// --- Registry basics --------------------------------------------------------
+
+TEST(Registry, ListsTheExpectedAlgorithms) {
+  std::vector<std::string_view> names;
+  for (const api::Solver& s : api::solvers()) names.push_back(s.name);
+  for (const char* expected :
+       {"mwhvc", "mwhvc-apxc", "kmw", "kvy", "greedy", "local-ratio"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from the registry";
+    const api::Solver* s = api::find_solver(expected);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name, expected);
+    EXPECT_FALSE(s->description.empty());
+  }
+}
+
+TEST(Registry, UnknownNameIsAnError) {
+  const auto g = small_instance();
+  EXPECT_EQ(api::find_solver("no-such-algorithm"), nullptr);
+  EXPECT_THROW((void)api::solve("no-such-algorithm", g),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::make_run("no-such-algorithm", g),
+               std::invalid_argument);
+  // Sequential solvers have no steppable run.
+  EXPECT_THROW((void)api::make_run("greedy", g), std::invalid_argument);
+}
+
+TEST(Registry, EveryAlgorithmSolvesAndCertifies) {
+  const auto g = small_instance();
+  for (const api::Solver& s : api::solvers()) {
+    SCOPED_TRACE(std::string(s.name));
+    const api::Solution sol = api::solve(s.name, g);
+    EXPECT_EQ(sol.algorithm, s.name);
+    EXPECT_TRUE(sol.certificate.valid()) << sol.certificate.error;
+    EXPECT_TRUE(sol.net.completed);
+    EXPECT_EQ(sol.outcome, api::RunOutcome::kCompleted);
+    EXPECT_EQ(sol.in_cover.size(), g.num_vertices());
+    EXPECT_EQ(sol.duals.size(), g.num_edges());
+    EXPECT_GT(sol.cover_weight, 0);
+    EXPECT_GE(sol.wall_ms, 0.0);
+  }
+}
+
+// --- Bit-identical parity with the pre-refactor entry points ----------------
+
+void expect_same_solution(const api::SolutionCore& a,
+                          const api::SolutionCore& b) {
+  EXPECT_EQ(a.in_cover, b.in_cover);
+  EXPECT_EQ(a.cover_weight, b.cover_weight);
+  EXPECT_EQ(a.duals, b.duals);  // exact double equality, not epsilon
+  EXPECT_EQ(a.dual_total, b.dual_total);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.net.transcript_hash, b.net.transcript_hash);
+  EXPECT_EQ(a.net.rounds, b.net.rounds);
+  EXPECT_EQ(a.net.total_messages, b.net.total_messages);
+  EXPECT_EQ(a.net.total_bits, b.net.total_bits);
+  EXPECT_EQ(a.net.completed, b.net.completed);
+}
+
+TEST(Registry, MatchesLegacyEntryPointsAcrossFamilies) {
+  const struct {
+    const char* name;
+    hg::Hypergraph graph;
+  } families[] = {
+      {"gnp_sparse", hg::gnp(180, 0.015, hg::exponential_weights(8), 91)},
+      {"random_uniform",
+       hg::random_uniform(150, 320, 3, hg::exponential_weights(10), 21)},
+      {"hyper_star", hg::hyper_star(48, 3, hg::uniform_weights(17), 23)},
+      {"set_cover",
+       hg::random_set_cover(60, 140, 4, hg::exponential_weights(8), 24)},
+      {"grid", hg::grid(9, 13, hg::bimodal_weights(64), 25)},
+  };
+  constexpr double kEps = 0.25;
+  api::SolveRequest req;
+  req.eps = kEps;
+  for (const auto& fam : families) {
+    SCOPED_TRACE(fam.name);
+    const hg::Hypergraph& g = fam.graph;
+    {
+      core::MwhvcOptions o;
+      o.eps = kEps;
+      const auto legacy = core::solve_mwhvc(g, o);
+      const auto sol = api::solve("mwhvc", g, req);
+      expect_same_solution(sol, legacy);
+      EXPECT_EQ(sol.levels, legacy.levels);
+    }
+    {
+      core::MwhvcOptions o;
+      o.eps = kEps;
+      o.appendix_c = true;
+      const auto legacy = core::solve_mwhvc(g, o);
+      const auto sol = api::solve("mwhvc-apxc", g, req);
+      expect_same_solution(sol, legacy);
+      EXPECT_EQ(sol.levels, legacy.levels);
+    }
+    {
+      baselines::KmwOptions o;
+      o.eps = kEps;
+      expect_same_solution(api::solve("kmw", g, req),
+                           baselines::solve_kmw(g, o));
+    }
+    {
+      baselines::KvyOptions o;
+      o.eps = kEps;
+      expect_same_solution(api::solve("kvy", g, req),
+                           baselines::solve_kvy(g, o));
+    }
+    {
+      const auto sol = api::solve("greedy", g, req);
+      EXPECT_EQ(sol.in_cover, baselines::greedy_cover(g));
+      EXPECT_EQ(sol.cover_weight, g.weight_of(sol.in_cover));
+    }
+    {
+      const auto legacy = baselines::local_ratio_cover(g);
+      const auto sol = api::solve("local-ratio", g, req);
+      EXPECT_EQ(sol.in_cover, legacy.in_cover);
+      EXPECT_EQ(sol.duals, legacy.duals);
+      EXPECT_EQ(sol.cover_weight, legacy.cover_weight);
+    }
+  }
+}
+
+// --- KmwRun / KvyRun lock-step vs one-shot (mirrors engine_frontier) --------
+
+TEST(BaselineRuns, KmwLockStepMatchesOneShotAcrossThreads) {
+  const auto g =
+      hg::random_uniform(150, 300, 3, hg::exponential_weights(10), 55);
+  baselines::KmwOptions ref_opts;
+  const auto one_shot = baselines::solve_kmw(g, ref_opts);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    baselines::KmwOptions opts;
+    opts.engine.threads = threads;
+    baselines::KmwRun run(g, opts);
+    EXPECT_EQ(run.max_rounds(), opts.engine.max_rounds);
+    std::size_t prev_live = run.live_agents();
+    while (!run.done() && run.rounds() < run.max_rounds()) {
+      run.step_round();
+      const std::size_t live = run.live_agents();
+      EXPECT_LE(live, prev_live);  // halting is monotone in KMW
+      prev_live = live;
+    }
+    EXPECT_TRUE(run.done());
+    EXPECT_EQ(run.live_agents(), 0u);
+    expect_same_solution(run.finish_result(), one_shot);
+  }
+}
+
+TEST(BaselineRuns, KvyLockStepMatchesOneShotAcrossThreads) {
+  const auto g =
+      hg::random_uniform(150, 300, 3, hg::exponential_weights(10), 55);
+  baselines::KvyOptions ref_opts;
+  const auto one_shot = baselines::solve_kvy(g, ref_opts);
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    baselines::KvyOptions opts;
+    opts.engine.threads = threads;
+    baselines::KvyRun run(g, opts);
+    while (!run.done() && run.rounds() < run.max_rounds()) {
+      run.step_round();
+    }
+    EXPECT_TRUE(run.done());
+    EXPECT_EQ(run.live_agents(), 0u);
+    expect_same_solution(run.finish_result(), one_shot);
+  }
+}
+
+TEST(BaselineRuns, RegistryRunsStepLikeTheOneShotSolvers) {
+  // The polymorphic path: make_run() + manual stepping through the
+  // ProtocolRun interface reproduces the one-shot transcripts.
+  const auto g =
+      hg::random_uniform(120, 260, 3, hg::exponential_weights(9), 7);
+  api::SolveRequest req;
+  for (const char* algo : {"mwhvc", "mwhvc-apxc", "kmw", "kvy"}) {
+    SCOPED_TRACE(algo);
+    std::unique_ptr<api::ProtocolRun> run = api::make_run(algo, g, req);
+    std::uint32_t steps = 0;
+    while (!run->done() && run->rounds() < run->max_rounds()) {
+      run->step_round();
+      ++steps;
+    }
+    EXPECT_EQ(steps, run->rounds());
+    const api::Solution stepped = run->finish();
+    const api::Solution one_shot = api::solve(algo, g, req);
+    expect_same_solution(stepped, one_shot);
+  }
+}
+
+TEST(BaselineRuns, EdgeFreeInstanceCompletesInstantly) {
+  hg::Builder b;
+  b.add_vertices(5, 3);
+  const auto g = b.build();
+  baselines::KmwRun kmw(g);
+  EXPECT_TRUE(kmw.done());
+  EXPECT_EQ(kmw.live_agents(), 0u);
+  kmw.step_round();  // no-op, must not crash
+  const auto kmw_res = kmw.finish_result();
+  EXPECT_TRUE(kmw_res.net.completed);
+  EXPECT_EQ(kmw_res.net.rounds, 0u);
+  EXPECT_EQ(kmw_res.cover_weight, 0);
+  baselines::KvyRun kvy(g);
+  EXPECT_TRUE(kvy.done());
+  const auto kvy_sol = kvy.finish();
+  EXPECT_TRUE(kvy_sol.net.completed);
+  EXPECT_EQ(kvy_sol.algorithm, "kvy");
+}
+
+TEST(BaselineRuns, OptionValidationThrows) {
+  const auto g = small_instance();
+  baselines::KmwOptions bad_kmw;
+  bad_kmw.eps = 0.0;
+  EXPECT_THROW(baselines::KmwRun(g, bad_kmw), std::invalid_argument);
+  baselines::KvyOptions bad_kvy;
+  bad_kvy.eps = 1.5;
+  EXPECT_THROW(baselines::KvyRun(g, bad_kvy), std::invalid_argument);
+}
+
+// --- Run-level controls: observer, round budget, cancellation ---------------
+
+TEST(RunControl, ObserverSeesExactlyEveryRound) {
+  const auto g = small_instance();
+  for (const char* algo : {"mwhvc", "kmw", "kvy"}) {
+    SCOPED_TRACE(algo);
+    std::uint32_t calls = 0;
+    std::uint32_t last_seen = 0;
+    api::SolveRequest req;
+    req.control.on_round = [&](const api::ProtocolRun& run) {
+      ++calls;
+      EXPECT_EQ(run.rounds(), calls);  // called once after every round
+      last_seen = run.rounds();
+    };
+    const api::Solution sol = api::solve(algo, g, req);
+    EXPECT_TRUE(sol.net.completed);
+    EXPECT_EQ(calls, sol.net.rounds);
+    EXPECT_EQ(last_seen, sol.net.rounds);
+  }
+}
+
+TEST(RunControl, RoundBudgetYieldsWellFormedPartialSolution) {
+  // An instance whose solve takes well over 3 rounds (init alone is 2).
+  const auto g =
+      hg::random_uniform(200, 420, 3, hg::exponential_weights(12), 33);
+  api::SolveRequest req;
+  req.control.round_budget = 3;
+  const api::Solution sol = api::solve("mwhvc", g, req);
+  EXPECT_EQ(sol.outcome, api::RunOutcome::kBudgetExhausted);
+  EXPECT_EQ(sol.net.rounds, 3u);
+  EXPECT_FALSE(sol.net.completed);
+  // Well-formed partial state: full-size vectors, a certificate that
+  // reflects the instance truthfully, feasible duals throughout.
+  EXPECT_EQ(sol.in_cover.size(), g.num_vertices());
+  EXPECT_EQ(sol.duals.size(), g.num_edges());
+  EXPECT_EQ(sol.levels.size(), g.num_vertices());
+  EXPECT_EQ(sol.certificate.cover_valid, verify::is_cover(g, sol.in_cover));
+  EXPECT_TRUE(verify::is_feasible_packing(g, sol.duals));
+  // A budget larger than the run needs changes nothing.
+  api::SolveRequest big;
+  big.control.round_budget = 1u << 20;
+  const api::Solution full = api::solve("mwhvc", g, big);
+  EXPECT_EQ(full.outcome, api::RunOutcome::kCompleted);
+  EXPECT_TRUE(full.net.completed);
+  EXPECT_TRUE(full.certificate.valid()) << full.certificate.error;
+}
+
+TEST(RunControl, CancellationStopsTheRunCooperatively) {
+  const auto g =
+      hg::random_uniform(200, 420, 3, hg::exponential_weights(12), 33);
+  std::atomic<bool> cancel{false};
+  api::SolveRequest req;
+  req.control.cancel = &cancel;
+  req.control.on_round = [&](const api::ProtocolRun& run) {
+    if (run.rounds() >= 4) cancel.store(true);
+  };
+  const api::Solution sol = api::solve("kvy", g, req);
+  EXPECT_EQ(sol.outcome, api::RunOutcome::kCancelled);
+  EXPECT_EQ(sol.net.rounds, 4u);  // the flag is checked before each round
+  EXPECT_FALSE(sol.net.completed);
+  EXPECT_EQ(sol.in_cover.size(), g.num_vertices());
+  EXPECT_TRUE(verify::is_feasible_packing(g, sol.duals));
+}
+
+TEST(RunControl, DriveHonorsBudgetOnARawRun) {
+  const auto g = small_instance();
+  core::MwhvcOptions opts;
+  core::MwhvcRun run(g, opts);
+  api::RunControl ctl;
+  ctl.round_budget = 2;
+  EXPECT_EQ(api::drive(run, ctl), api::RunOutcome::kBudgetExhausted);
+  EXPECT_EQ(run.rounds(), 2u);
+  // Driving again without a budget finishes the protocol.
+  EXPECT_EQ(api::drive(run), api::RunOutcome::kCompleted);
+  EXPECT_TRUE(run.done());
+}
+
+// --- Request knobs ----------------------------------------------------------
+
+TEST(SolveRequest, CommonKnobsOverridePerAlgorithmBlock) {
+  const auto g = small_instance();
+  api::SolveRequest req;
+  req.eps = 0.125;
+  req.mwhvc.eps = 0.9;  // must be ignored in favour of req.eps
+  const auto sol = api::solve("mwhvc", g, req);
+  core::MwhvcOptions o;
+  o.eps = 0.125;
+  expect_same_solution(sol, core::solve_mwhvc(g, o));
+}
+
+TEST(SolveRequest, FApproxUsesCorollary10Epsilon) {
+  const auto g = small_instance();
+  api::SolveRequest req;
+  req.f_approx = true;
+  const auto sol = api::solve("mwhvc", g, req);
+  core::MwhvcOptions o;
+  o.eps = core::f_approx_epsilon(g);
+  expect_same_solution(sol, core::solve_mwhvc(g, o));
+}
+
+TEST(SolveRequest, CertifyOffSkipsTheCertificate) {
+  const auto g = small_instance();
+  api::SolveRequest req;
+  req.certify = false;
+  const auto sol = api::solve("mwhvc", g, req);
+  EXPECT_FALSE(sol.certificate.cover_valid);  // default-constructed
+  EXPECT_EQ(sol.certificate.dual_total, 0.0);
+}
+
+}  // namespace
+}  // namespace hypercover

@@ -235,7 +235,7 @@ TEST(EngineFrontier, MwhvcLockStepAcrossFamiliesAndThreads) {
       }
       EXPECT_TRUE(active.done());
       EXPECT_EQ(active.live_agents(), 0u);
-      expect_bit_identical(active.finish(), dense.finish());
+      expect_bit_identical(active.finish_result(), dense.finish_result());
     }
   }
 }
@@ -329,7 +329,7 @@ TEST(EngineFrontier, LiveAgentCounterTracksHalting) {
     prev = live;
   }
   EXPECT_EQ(run.live_agents(), 0u);
-  const auto res = run.finish();
+  const auto res = run.finish_result();
   EXPECT_TRUE(res.net.completed);
   // Work accounting: every scheduled visit stepped a live agent at least
   // once, and the sparse tail used the dirty-slot path.
@@ -345,7 +345,7 @@ TEST(EngineFrontier, EdgeFreeInstanceCompletesInstantly) {
   EXPECT_TRUE(run.done());
   EXPECT_EQ(run.live_agents(), 0u);
   run.step_round();  // no-op, must not crash
-  const auto res = run.finish();
+  const auto res = run.finish_result();
   EXPECT_TRUE(res.net.completed);
   EXPECT_EQ(res.net.rounds, 0u);
   EXPECT_EQ(res.cover_weight, 0);

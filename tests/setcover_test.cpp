@@ -136,7 +136,25 @@ TEST(SolveSetCover, LargeRandomSystemVerified) {
   opts.eps = 0.25;
   const auto res = solve_set_cover(sys, opts);
   EXPECT_LE(res.certified_ratio, res.frequency + 0.25 + 1e-9);
-  EXPECT_TRUE(res.mwhvc.net.completed);
+  EXPECT_TRUE(res.solution.net.completed);
+}
+
+TEST(SolveSetCover, RoundBudgetReturnsPartialSelection) {
+  // A caller-requested early stop is not a solver bug: the facade must
+  // return the partial selection instead of throwing.
+  SetSystem sys(40);
+  for (ElementId x = 0; x < 40; x += 4) {
+    sys.add_set(5, {x, ElementId{x + 1}, ElementId{x + 2}, ElementId{x + 3}});
+    sys.add_set(3, {x, ElementId{x + 2}});
+    sys.add_set(2, {ElementId{x + 1}, ElementId{x + 3}});
+  }
+  SetCoverOptions opts;
+  opts.control.round_budget = 1;  // init rounds alone need more
+  const auto res = solve_set_cover(sys, opts);
+  EXPECT_EQ(res.solution.outcome, api::RunOutcome::kBudgetExhausted);
+  EXPECT_FALSE(res.solution.net.completed);
+  EXPECT_EQ(res.solution.net.rounds, 1u);
+  EXPECT_EQ(res.selected.size(), sys.num_sets());
 }
 
 }  // namespace
