@@ -1,0 +1,133 @@
+// E12 — batch-serving throughput (engineering bench, not a paper
+// experiment): jobs/second for the api::BatchScheduler multiplexing many
+// independent solve jobs onto one shared worker pool, against the
+// sequential one-job-at-a-time loop it replaces, at batch sizes 1/8/64.
+//
+// Every timed run is digest-guarded: each job's transcript hash is
+// compared against a solo reference solve and the bench aborts on drift,
+// so the scheduler can never look fast by changing what the protocols
+// compute. The expected speedup is (up to) the worker count on
+// multi-core hosts; on a single-CPU host the two modes should tie, which
+// bounds the scheduler's queueing overhead.
+
+#include "bench/common.hpp"
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "congest/thread_pool.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+
+namespace {
+
+using namespace hypercover;
+
+/// The multi-instance serving workload: a mixed bag of generator
+/// families and algorithms, the shape a batch endpoint actually sees.
+struct Workload {
+  std::vector<hg::Hypergraph> graphs;
+  std::vector<api::BatchJob> jobs;
+  std::vector<std::uint64_t> want_digest;  // solo reference transcripts
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload out;
+    constexpr std::size_t kJobs = 64;
+    out.graphs.reserve(kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      const auto seed = static_cast<std::uint64_t>(100 + i);
+      const auto n = static_cast<std::uint32_t>(300 + 40 * (i % 8));
+      switch (i % 3) {
+        case 0:
+          out.graphs.push_back(hg::random_uniform(
+              n, 2 * n, 3, hg::exponential_weights(10), seed));
+          break;
+        case 1:
+          out.graphs.push_back(hg::random_set_cover(
+              n / 2, n, 3, hg::uniform_weights(99), seed));
+          break;
+        default:
+          out.graphs.push_back(hg::random_bounded_degree(
+              n, n + n / 2, 4, 8, hg::exponential_weights(8), seed));
+          break;
+      }
+    }
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      api::BatchJob job;
+      job.graph = &out.graphs[i];
+      job.algorithm = i % 4 == 3 ? "kvy" : "mwhvc";
+      job.request.certify = false;  // time the solves, not verification
+      out.jobs.push_back(std::move(job));
+    }
+    for (const api::BatchJob& job : out.jobs) {
+      out.want_digest.push_back(
+          api::solve(job.algorithm, *job.graph, job.request)
+              .net.transcript_hash);
+    }
+    return out;
+  }();
+  return w;
+}
+
+void check_digests(const std::vector<api::Solution>& results,
+                   std::size_t batch) {
+  const Workload& w = workload();
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (results[i].net.transcript_hash != w.want_digest[i]) {
+      throw std::runtime_error("batch job " + std::to_string(i) +
+                               " diverged from its solo transcript");
+    }
+  }
+}
+
+/// range(0) = batch size, range(1) = 0 for the sequential loop baseline,
+/// 1 for the BatchScheduler on a hardware-sized shared pool.
+void BM_BatchThroughputDigestGuard(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const bool scheduled = state.range(1) != 0;
+  const Workload& w = workload();
+  const std::span<const api::BatchJob> jobs(w.jobs.data(), batch);
+
+  api::BatchOptions opts;
+  opts.threads = 0;  // one worker per hardware thread
+  api::BatchScheduler scheduler(opts);  // pool built once, reused per batch
+
+  for (auto _ : state) {
+    if (scheduled) {
+      const auto results = scheduler.solve_all(jobs);
+      check_digests(results, batch);
+    } else {
+      std::vector<api::Solution> results;
+      results.reserve(batch);
+      for (const api::BatchJob& job : jobs) {
+        results.push_back(api::solve(job.algorithm, *job.graph, job.request));
+      }
+      check_digests(results, batch);
+    }
+  }
+  state.counters["batch"] = static_cast<double>(batch);
+  state.counters["threads"] =
+      static_cast<double>(scheduled ? scheduler.pool().size() : 1);
+  // items_per_second == jobs per second, the serving metric.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BatchThroughputDigestGuard)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

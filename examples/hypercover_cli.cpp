@@ -6,11 +6,26 @@
 //       [--eps=0.5] [--appendix-c] [--alpha=<fixed>] [--threads=1]
 //       [--dense] [--f-approx] [--max-rounds=N] [--quiet] [--cover-only]
 //       [--stats-json[=path]]
+//   ./hypercover_cli --batch=manifest.txt [--threads=N] [--algo=<default>]
+//       [--batch-policy=rr|live] [--batch-quantum=32] [common knobs]
 //
 // --list-algos prints one `name<TAB>kind<TAB>description` line per
 // registered algorithm (the valid --algo values) and exits. Dispatch is
 // entirely registry-driven: a newly registered algorithm is available
 // here with no CLI change.
+//
+// --batch=<manifest> solves a file of instances concurrently on one
+// shared worker pool (api::BatchScheduler). Each manifest line names an
+// instance file plus an optional per-line algorithm ('#' starts a
+// comment — whole-line or trailing — and blank lines are skipped;
+// --stats-json / --cover-only are single-solve flags and are rejected):
+//     instances/web.hg
+//     instances/sensor.hg kmw
+// All common knobs (--eps, --threads as the pool size, --max-rounds, ...)
+// apply to every job; every returned Solution is bit-identical to solving
+// that instance alone. One summary line per job goes to stdout
+// (file, algo, n, m, rounds, outcome, cover weight, certified ratio),
+// then a throughput total to stderr. Exit 2 if any job fails verification.
 //
 // --threads=N steps agents on N workers (0 = one per hardware thread);
 // the run is bit-identical at any value. --dense forces the reference
@@ -26,13 +41,18 @@
 // verification fails (e.g. a --max-rounds-truncated run) so partial runs
 // can be tracked; its certificate object reports the failure.
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
+#include <vector>
 
+#include "api/batch.hpp"
 #include "api/registry.hpp"
+#include "congest/thread_pool.hpp"
 #include "core/mwhvc.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
@@ -110,6 +130,160 @@ std::string stats_json(const api::Solution& sol, std::uint32_t threads,
   return os.str();
 }
 
+/// Solver knobs shared by the single-solve and --batch modes.
+struct CommonKnobs {
+  api::SolveRequest req;
+  std::uint32_t threads = 1;
+  bool dense = false;
+};
+
+/// Parses the shared flags into `k`; returns a nonzero exit code (after
+/// printing the error) on bad values, 0 otherwise.
+int parse_knobs(const util::Cli& cli, CommonKnobs& k) {
+  constexpr std::int64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+  const std::int64_t threads_arg = cli.get("threads", 1);
+  if (threads_arg < 0 || threads_arg > kU32Max) {
+    std::cerr << "error: --threads must be in [0, " << kU32Max << "]\n";
+    return 1;
+  }
+  k.threads = static_cast<std::uint32_t>(threads_arg);
+  k.dense = cli.has("dense");
+  k.req.eps = cli.get("eps", 0.5);
+  k.req.f_approx = cli.has("f-approx");
+  k.req.engine.threads = k.threads;
+  k.req.engine.scheduling =
+      k.dense ? congest::Scheduling::kDense : congest::Scheduling::kActive;
+  if (cli.has("max-rounds")) {
+    const std::int64_t max_rounds =
+        cli.get("max-rounds", std::int64_t{1} << 20);
+    if (max_rounds <= 0 || max_rounds > kU32Max) {
+      std::cerr << "error: --max-rounds must be in [1, " << kU32Max << "]\n";
+      return 1;
+    }
+    k.req.engine.max_rounds = static_cast<std::uint32_t>(max_rounds);
+  }
+  k.req.mwhvc.appendix_c = cli.has("appendix-c");
+  if (cli.has("alpha")) {
+    k.req.mwhvc.alpha_mode = core::AlphaMode::kFixed;
+    k.req.mwhvc.alpha_fixed = cli.get("alpha", 2.0);
+  }
+  return 0;
+}
+
+const char* outcome_name(api::RunOutcome outcome) {
+  switch (outcome) {
+    case api::RunOutcome::kCompleted: return "completed";
+    case api::RunOutcome::kRoundLimit: return "round-limit";
+    case api::RunOutcome::kBudgetExhausted: return "budget";
+    case api::RunOutcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// --batch mode: parse the manifest, load every instance, solve them all
+/// concurrently on one BatchScheduler pool, and summarize.
+int run_batch(const util::Cli& cli, const CommonKnobs& knobs) {
+  // Per-solve output flags have no one-job meaning here; reject them
+  // loudly instead of letting a scripted caller read silence as success.
+  for (const char* unsupported : {"stats-json", "cover-only"}) {
+    if (cli.has(unsupported)) {
+      std::cerr << "error: --" << unsupported
+                << " is not supported in --batch mode (one summary line "
+                   "per job goes to stdout instead)\n";
+      return 1;
+    }
+  }
+  const std::string manifest_path = cli.get("batch", std::string());
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    std::cerr << "error: cannot open manifest " << manifest_path << "\n";
+    return 1;
+  }
+  const std::string default_algo = cli.get("algo", std::string("mwhvc"));
+
+  struct ManifestEntry {
+    std::string path, algo;
+  };
+  std::vector<ManifestEntry> entries;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    std::istringstream ls(line);
+    ManifestEntry entry;
+    if (!(ls >> entry.path) || entry.path[0] == '#') continue;
+    // A '#' token ends the line (trailing comments are allowed anywhere).
+    if (!(ls >> entry.algo) || entry.algo[0] == '#') entry.algo = default_algo;
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    std::cerr << "error: manifest " << manifest_path
+              << " lists no instances\n";
+    return 1;
+  }
+
+  std::vector<hg::Hypergraph> graphs(entries.size());
+  std::vector<api::BatchJob> jobs(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (api::find_solver(entries[i].algo) == nullptr) {
+      std::cerr << "error: unknown algorithm " << entries[i].algo
+                << " in manifest line for " << entries[i].path << "\n";
+      return 1;
+    }
+    std::ifstream in(entries[i].path);
+    if (!in) {
+      std::cerr << "error: cannot open " << entries[i].path << "\n";
+      return 1;
+    }
+    graphs[i] = hg::read_text(in);
+    jobs[i].graph = &graphs[i];
+    jobs[i].algorithm = entries[i].algo;
+    jobs[i].request = knobs.req;
+  }
+
+  api::BatchOptions opts;
+  opts.threads = knobs.threads;
+  const std::string policy = cli.get("batch-policy", std::string("rr"));
+  if (policy == "live") {
+    opts.policy = api::BatchPolicy::kFewestLiveAgents;
+  } else if (policy != "rr") {
+    std::cerr << "error: --batch-policy must be rr or live\n";
+    return 1;
+  }
+  const std::int64_t quantum = cli.get("batch-quantum", 32);
+  if (quantum < 1 || quantum > std::numeric_limits<std::uint32_t>::max()) {
+    std::cerr << "error: --batch-quantum must be >= 1\n";
+    return 1;
+  }
+  opts.round_quantum = static_cast<std::uint32_t>(quantum);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  api::BatchScheduler scheduler(opts);
+  const std::vector<api::Solution> results = scheduler.solve_all(jobs);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  bool all_valid = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const api::Solution& sol = results[i];
+    const hg::Hypergraph& g = graphs[i];
+    all_valid = all_valid && sol.certificate.valid();
+    std::cout << entries[i].path << '\t' << sol.algorithm << '\t'
+              << g.num_vertices() << '\t' << g.num_edges() << '\t'
+              << sol.net.rounds << '\t' << outcome_name(sol.outcome) << '\t'
+              << sol.certificate.cover_weight << '\t'
+              << json_number(sol.certificate.certified_ratio) << '\t'
+              << (sol.certificate.valid() ? "ok" : "INVALID") << '\n';
+  }
+  if (!cli.has("quiet")) {
+    std::cerr << "batch: " << results.size() << " jobs on "
+              << scheduler.pool().size() << " workers in " << wall_ms
+              << " ms (" << (1000.0 * static_cast<double>(results.size()) /
+                             std::max(wall_ms, 1e-9))
+              << " jobs/s)\n";
+  }
+  return all_valid ? 0 : 2;
+}
+
 int run(const util::Cli& cli) {
   if (cli.has("list-algos")) {
     for (const api::Solver& s : api::solvers()) {
@@ -119,6 +293,10 @@ int run(const util::Cli& cli) {
     }
     return 0;
   }
+
+  CommonKnobs knobs;
+  if (const int rc = parse_knobs(cli, knobs); rc != 0) return rc;
+  if (cli.has("batch")) return run_batch(cli, knobs);
 
   const std::string algo = cli.get("algo", std::string("mwhvc"));
   const api::Solver* solver = api::find_solver(algo);
@@ -143,41 +321,14 @@ int run(const util::Cli& cli) {
   const bool quiet = cli.has("quiet");
   if (!quiet) std::cerr << "instance: " << hg::compute_stats(g) << "\n";
 
-  constexpr std::int64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
-  const std::int64_t threads_arg = cli.get("threads", 1);
-  if (threads_arg < 0 || threads_arg > kU32Max) {
-    std::cerr << "error: --threads must be in [0, " << kU32Max << "]\n";
-    return 1;
-  }
-  const auto threads = static_cast<std::uint32_t>(threads_arg);
-  const bool dense = cli.has("dense");
+  const std::uint32_t threads = knobs.threads;
+  const bool dense = knobs.dense;
   if (!solver->steppable && cli.has("threads") && threads != 1) {
     std::cerr << "note: --threads ignored by the sequential " << algo
               << " solver\n";
   }
 
-  api::SolveRequest req;
-  req.eps = cli.get("eps", 0.5);
-  req.f_approx = cli.has("f-approx");
-  req.engine.threads = threads;
-  req.engine.scheduling =
-      dense ? congest::Scheduling::kDense : congest::Scheduling::kActive;
-  if (cli.has("max-rounds")) {
-    const std::int64_t max_rounds =
-        cli.get("max-rounds", std::int64_t{1} << 20);
-    if (max_rounds <= 0 || max_rounds > kU32Max) {
-      std::cerr << "error: --max-rounds must be in [1, " << kU32Max << "]\n";
-      return 1;
-    }
-    req.engine.max_rounds = static_cast<std::uint32_t>(max_rounds);
-  }
-  req.mwhvc.appendix_c = cli.has("appendix-c");
-  if (cli.has("alpha")) {
-    req.mwhvc.alpha_mode = core::AlphaMode::kFixed;
-    req.mwhvc.alpha_fixed = cli.get("alpha", 2.0);
-  }
-
-  const api::Solution sol = api::solve(algo, g, req);
+  const api::Solution sol = api::solve(algo, g, knobs.req);
   if (!quiet && solver->steppable) {
     std::cerr << "network: " << sol.net << "\n";
   }

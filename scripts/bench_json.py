@@ -15,9 +15,13 @@ error) alongside the RunStats fields.
 
 Usage (or just `cmake --build build --target bench_json`):
   scripts/bench_json.py --bench build/bench_e11_engine_micro \
+      [--bench build/bench_e12_batch_throughput ...] \
       [--out BENCH_engine.json] [--label "..."] \
       [--filter DigestGuard] [--min-time 0.05] [--keep 8] \
       [--solve-json stats.json ...]
+
+--bench is repeatable; every binary's digest-guarded points are folded
+into one run record (e11 = engine micro, e12 = batch-serving throughput).
 """
 
 import argparse
@@ -85,7 +89,8 @@ def summarize(raw):
             if key in ("items_per_second", "active", "rounds", "threads",
                        "tail_rounds", "items_per_round", "steps_per_round",
                        "links", "agents_visited", "agent_steps",
-                       "slots_processed", "sparse_passes", "dense_passes"):
+                       "slots_processed", "sparse_passes", "dense_passes",
+                       "batch"):
                 point[key] = value
         points.append(point)
     return points
@@ -93,8 +98,9 @@ def summarize(raw):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench",
-                    help="path to the bench_e11_engine_micro binary")
+    ap.add_argument("--bench", action="append", default=[], metavar="BIN",
+                    help="bench binary to run (repeatable; e.g. "
+                         "bench_e11_engine_micro, bench_e12_batch_throughput)")
     ap.add_argument("--solve-json", action="append", default=[],
                     metavar="FILE",
                     help="hypercover_cli --stats-json record(s) to fold "
@@ -113,8 +119,13 @@ def main():
         ap.error("need --bench and/or --solve-json")
 
     raw = {}
-    if args.bench:
-        raw = run_bench(args.bench, args.filter, args.min_time)
+    for bench in args.bench:
+        one = run_bench(bench, args.filter, args.min_time)
+        if not raw:
+            raw = one
+        else:
+            raw.setdefault("benchmarks", []).extend(
+                one.get("benchmarks", []))
 
     out = pathlib.Path(args.out)
     doc = {"note": "", "runs": []}
@@ -128,7 +139,10 @@ def main():
         "Engine perf trajectory. Benchmarks named .../0 run the dense "
         "reference schedule (pre-frontier baseline); .../1 run the "
         "activity-driven engine. items_per_round on the SparseTail benches "
-        "is the acceptance metric: active must stay >= 5x below dense.")
+        "is the acceptance metric: active must stay >= 5x below dense. "
+        "BatchThroughput benches compare the sequential solve loop (/0) "
+        "with the shared-pool BatchScheduler (/1) in jobs per second; the "
+        "scheduler must reach >= 1.5x at batch 64 on multi-core hosts.")
 
     context = raw.get("context", {})
     run_record = {
@@ -172,6 +186,35 @@ def main():
         print(f"{base}/{instance}: dense {dense:.0f} vs active {active:.0f} "
               f"items/round ({ratio:.1f}x) {status}", file=sys.stderr)
         ok = ok and ratio >= 5.0
+
+    # Gate: BatchScheduler throughput vs the sequential loop, in jobs/s.
+    # Names look like BM_BatchThroughputDigestGuard/64/1/real_time; mode 0
+    # is the loop, mode 1 the scheduler. Enforced (>= 1.5x at batch 64)
+    # only when the scheduler actually had >= 2 workers — on a single-CPU
+    # host the two modes tie by construction and the ratio is just
+    # reported.
+    batches = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "BatchThroughput" in parts[0] and len(parts) >= 3 \
+                and "items_per_second" in p:
+            batches.setdefault(parts[1], {})[parts[2]] = p
+    for batch, modes in sorted(batches.items(), key=lambda kv: int(kv[0])):
+        loop, sched = modes.get("0"), modes.get("1")
+        if loop is None or sched is None:
+            continue
+        ratio = sched["items_per_second"] / max(loop["items_per_second"], 1e-9)
+        workers = sched.get("threads", 1)
+        enforced = workers >= 2 and batch == "64"
+        good = ratio >= 1.5 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced:
+            status += " (report-only: single worker)" if workers < 2 else ""
+        print(f"BatchThroughput/{batch}: loop {loop['items_per_second']:.0f} "
+              f"vs scheduler {sched['items_per_second']:.0f} jobs/s "
+              f"({ratio:.2f}x on {workers:.0f} workers) {status}",
+              file=sys.stderr)
+        ok = ok and good
     return 0 if ok else 1
 
 

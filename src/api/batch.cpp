@@ -1,0 +1,228 @@
+#include "api/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "api/run.hpp"
+#include "congest/thread_pool.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Mutable per-job state. Only the worker currently holding the job's
+/// index touches it; hand-offs go through the scheduler mutex, which
+/// orders them.
+struct JobState {
+  std::unique_ptr<ProtocolRun> run;  // null until started / for sequential
+  bool started = false;
+  Clock::time_point start{};
+};
+
+}  // namespace
+
+struct BatchScheduler::Impl {
+  explicit Impl(const BatchOptions& options)
+      : opts(options), pool(congest::ThreadPool::resolve(options.threads)) {
+    if (opts.round_quantum == 0) opts.round_quantum = 1;
+  }
+
+  BatchOptions opts;
+  congest::ThreadPool pool;
+
+  // --- one solve_all() invocation ------------------------------------------
+
+  std::span<const BatchJob> jobs;
+  std::vector<JobState> states;
+  std::vector<Solution> results;
+  std::vector<std::exception_ptr> errors;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;  // runnable job indices, FIFO order
+  std::size_t unfinished = 0;
+
+  /// Picks the next runnable job per policy. Caller holds `mu`; `ready`
+  /// is non-empty. Reading live_agents() here is safe: a job in `ready`
+  /// is owned by nobody, and the mutex ordered its last step.
+  std::size_t pick_locked() {
+    std::size_t pos = 0;
+    if (opts.policy == BatchPolicy::kFewestLiveAgents) {
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (std::size_t k = 0; k < ready.size(); ++k) {
+        const JobState& js = states[ready[k]];
+        // Unstarted jobs report 0 live agents, so construction (the
+        // heavy first slice) is never starved behind long runs.
+        const std::size_t live = js.run != nullptr ? js.run->live_agents() : 0;
+        if (live < best) {
+          best = live;
+          pos = k;
+        }
+      }
+    }
+    const std::size_t i = ready[pos];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pos));
+    return i;
+  }
+
+  /// Extracts, stamps, and certifies job i's Solution — the same
+  /// stamping api::solve performs, so a batch Solution is
+  /// indistinguishable from a solo one (wall_ms aside, which here spans
+  /// construction to extraction under interleaving).
+  void finalize(std::size_t i) {
+    JobState& js = states[i];
+    Solution sol = js.run->finish();
+    js.run.reset();
+    if (sol.algorithm.empty()) sol.algorithm = jobs[i].algorithm;
+    sol.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - js.start)
+            .count();
+    if (jobs[i].request.certify) {
+      sol.certificate =
+          verify::certify(*jobs[i].graph, sol.in_cover, sol.duals);
+    }
+    results[i] = std::move(sol);
+  }
+
+  /// Advances job i by one scheduling slice. Returns true when the job
+  /// is finished (completed, stopped, or failed) and must not requeue.
+  bool run_slice(std::size_t i) {
+    JobState& js = states[i];
+    const BatchJob& job = jobs[i];
+    try {
+      if (!js.started) {
+        js.started = true;
+        js.start = Clock::now();
+        if (job.graph == nullptr) {
+          throw std::invalid_argument("BatchScheduler: job has a null graph");
+        }
+        const Solver* solver = find_solver(job.algorithm);
+        if (solver != nullptr && !solver->steppable) {
+          // Sequential references run as one slice; api::solve stamps
+          // name, wall time, and certificate itself.
+          results[i] = api::solve(job.algorithm, *job.graph, job.request);
+          return true;
+        }
+        SolveRequest req = job.request;
+        req.engine.threads = 1;     // parallelism is across jobs
+        req.engine.pool = nullptr;  // engines never share the pool mid-batch
+        js.run = make_run(job.algorithm, *job.graph, req);  // throws unknown
+      }
+      // Drive one quantum. The slice budget never exceeds what the job's
+      // own round budget still allows, so the recorded stop reason of the
+      // *final* slice is exactly what a solo drive() would have recorded.
+      RunControl slice = job.request.control;
+      slice.round_budget = opts.round_quantum;
+      const std::uint32_t job_budget = job.request.control.round_budget;
+      if (job_budget != 0) {
+        slice.round_budget =
+            std::min(opts.round_quantum, job_budget - js.run->rounds());
+      }
+      const RunOutcome outcome = drive(*js.run, slice);
+      if (outcome == RunOutcome::kBudgetExhausted &&
+          (job_budget == 0 || js.run->rounds() < job_budget)) {
+        return false;  // only the slice quantum ran out — requeue
+      }
+      finalize(i);
+      return true;
+    } catch (...) {
+      errors[i] = std::current_exception();
+      js.run.reset();
+      return true;
+    }
+  }
+
+  /// Worker loop body shared by every pool worker: pick, slice, requeue.
+  void work() {
+    for (;;) {
+      std::size_t i;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return unfinished == 0 || !ready.empty(); });
+        if (ready.empty()) return;  // all jobs finished
+        i = pick_locked();
+      }
+      const bool finished = run_slice(i);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (finished) {
+          if (--unfinished == 0) cv.notify_all();
+        } else {
+          ready.push_back(i);
+          cv.notify_one();
+        }
+      }
+    }
+  }
+
+  /// Single-job fast path: no queue, and the engine borrows the whole
+  /// pool (external-pool mode) so a lone job keeps intra-round
+  /// parallelism. Sequential solvers and unknown names fall through to
+  /// api::solve, which handles (or throws for) them.
+  Solution solve_single(const BatchJob& job) {
+    if (job.graph == nullptr) {
+      throw std::invalid_argument("BatchScheduler: job has a null graph");
+    }
+    const Solver* solver = find_solver(job.algorithm);
+    SolveRequest req = job.request;
+    if (solver != nullptr && solver->steppable && pool.size() > 1) {
+      req.engine.pool = &pool;
+    }
+    return api::solve(job.algorithm, *job.graph, req);
+  }
+};
+
+BatchScheduler::BatchScheduler(const BatchOptions& opts)
+    : impl_(std::make_unique<Impl>(opts)) {}
+
+BatchScheduler::~BatchScheduler() = default;
+
+congest::ThreadPool& BatchScheduler::pool() noexcept { return impl_->pool; }
+
+const BatchOptions& BatchScheduler::options() const noexcept {
+  return impl_->opts;
+}
+
+std::vector<Solution> BatchScheduler::solve_all(
+    std::span<const BatchJob> jobs) {
+  Impl& im = *impl_;
+  if (jobs.empty()) return {};
+  if (jobs.size() == 1) return {im.solve_single(jobs[0])};
+
+  im.jobs = jobs;
+  im.states = std::vector<JobState>(jobs.size());
+  im.results = std::vector<Solution>(jobs.size());
+  im.errors.assign(jobs.size(), nullptr);
+  im.ready.clear();
+  for (std::size_t i = 0; i < jobs.size(); ++i) im.ready.push_back(i);
+  im.unfinished = jobs.size();
+
+  im.pool.run([&im](unsigned) { im.work(); });
+
+  im.jobs = {};
+  im.states.clear();
+  for (std::exception_ptr& err : im.errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  im.errors.clear();
+  return std::move(im.results);
+}
+
+std::vector<Solution> solve_batch(std::span<const BatchJob> jobs,
+                                  const BatchOptions& opts) {
+  BatchScheduler scheduler(opts);
+  return scheduler.solve_all(jobs);
+}
+
+}  // namespace hypercover::api

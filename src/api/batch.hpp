@@ -1,0 +1,110 @@
+#pragma once
+// Concurrent batch solving: many independent solve jobs multiplexed onto
+// one shared congest::ThreadPool.
+//
+// Every `api::solve` call today owns the whole machine — one instance,
+// one engine, one pool. The protocols themselves are round-synchronous
+// and small per instance, so the serving-scale win is *inter-instance*
+// concurrency: a BatchScheduler keeps a work-queue of runnable
+// ProtocolRuns and lets each pool worker repeatedly pick a run, step it
+// for a bounded quantum of rounds, and requeue it, until every job is
+// finished. Sequential registry algorithms (greedy, local-ratio) ride
+// along as single-slice jobs.
+//
+// Determinism guarantee: each returned Solution is bit-identical —
+// transcript hash, cover, duals, iterations, outcome — to solving that
+// job alone with api::solve, at every pool size, scheduling policy, and
+// interleaving. This follows from two locked engine properties: a run is
+// a pure function of (hypergraph, options) independent of its engine's
+// thread count, and runs never share mutable state. Inside a multi-job
+// batch each engine is forced to step its own rounds sequentially
+// (parallelism is across jobs); a single-job batch instead lends the
+// scheduler's pool to the engine (external-pool mode, Options::pool) so
+// a lone job still uses the whole machine. Only `wall_ms` differs from a
+// solo solve: it measures scheduler latency (construction to extraction,
+// including time spent interleaved behind other jobs).
+//
+// Fairness: kRoundRobin services runnable runs FIFO, so every live job
+// advances within one quantum-bounded cycle. kFewestLiveAgents picks the
+// runnable run with the fewest live agents, draining nearly-finished
+// runs first (lower mean job latency, same results).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/solution.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace hypercover::congest {
+class ThreadPool;
+}  // namespace hypercover::congest
+
+namespace hypercover::api {
+
+/// One solve job: an instance, a registry algorithm name, and the full
+/// per-job request (common knobs, per-algorithm options, RunControl,
+/// certify flag). The graph must outlive the solve_all() call.
+struct BatchJob {
+  const hg::Hypergraph* graph = nullptr;
+  std::string algorithm = "mwhvc";
+  SolveRequest request;
+};
+
+/// Which runnable run a freed worker picks next. Results are identical
+/// under every policy; only scheduling order and latency differ.
+enum class BatchPolicy : std::uint8_t {
+  kRoundRobin,        ///< FIFO over runnable runs (default)
+  kFewestLiveAgents,  ///< drain the run closest to quiescence first
+};
+
+struct BatchOptions {
+  /// Worker pool size shared by the whole batch (0 = one per hardware
+  /// thread). One worker degenerates to a sequential in-order loop.
+  std::uint32_t threads = 0;
+  BatchPolicy policy = BatchPolicy::kRoundRobin;
+  /// Rounds a worker steps a run for before requeueing it (>= 1; 0 is
+  /// clamped to 1). Larger quanta amortize queue traffic, smaller quanta
+  /// tighten fairness; the results are identical either way.
+  std::uint32_t round_quantum = 32;
+};
+
+/// Runs batches of solve jobs on one shared worker pool. The pool is
+/// built once at construction and reused across solve_all() calls, so a
+/// serving loop pays the thread-spawn cost only at startup. Not
+/// thread-safe: one solve_all() at a time.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(const BatchOptions& opts = {});
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Solves every job concurrently and returns the Solutions in job
+  /// order, each bit-identical to a solo api::solve of the same job (see
+  /// the determinism guarantee above). Per-job RunControl is honored
+  /// exactly as api::solve would: observers fire once per executed round
+  /// (from whichever worker steps the run), budgets and cancellation
+  /// stop that job cooperatively while the rest of the batch continues.
+  /// The first failing job's exception (in job order) is rethrown after
+  /// every other job has finished.
+  [[nodiscard]] std::vector<Solution> solve_all(std::span<const BatchJob> jobs);
+
+  /// The shared worker pool (lent to single-job engines; see above).
+  [[nodiscard]] congest::ThreadPool& pool() noexcept;
+  [[nodiscard]] const BatchOptions& options() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: construct a scheduler, solve, tear down.
+[[nodiscard]] std::vector<Solution> solve_batch(std::span<const BatchJob> jobs,
+                                                const BatchOptions& opts = {});
+
+}  // namespace hypercover::api

@@ -36,7 +36,11 @@ struct SolveRequest {
   bool f_approx = false;
   /// Rank bound override; 0 means "use the instance rank".
   std::uint32_t f_override = 0;
-  /// Engine configuration (threads, scheduling, max_rounds, ...).
+  /// Engine configuration (threads, scheduling, max_rounds, ...). Setting
+  /// `engine.pool` lends a caller-owned congest::ThreadPool to the run's
+  /// engine (external-pool mode): successive solves reuse one warm pool
+  /// instead of spawning threads per call. api::BatchScheduler manages
+  /// this pointer itself — jobs inside a batch must leave it null.
   congest::Options engine;
   /// Per-algorithm parameters for the MWHVC family (alpha rule, gamma,
   /// appendix_c, trace/invariant collection). Its eps / f_override /

@@ -31,6 +31,8 @@ namespace hypercover::baselines {
 struct KvyOptions {
   double eps = 0.5;  ///< approximation slack, in (0, 1]
   std::uint32_t f_override = 0;
+  /// Engine knobs; `engine.pool` lends a shared ThreadPool to the run
+  /// (external-pool mode, used by api::BatchScheduler's single-job path).
   congest::Options engine;
 };
 

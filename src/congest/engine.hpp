@@ -57,6 +57,12 @@
 // and steps the shards on a fixed-size thread pool; when few agents are
 // live, the dispatch shrinks to fewer workers (or runs inline) so sparse
 // rounds do not pay the wakeup handshake.
+//
+// Pool ownership: by default the engine constructs its own ThreadPool from
+// Options::threads. With Options::pool set it instead borrows that pool
+// for its round dispatch (external-pool mode) — the batch scheduler lends
+// one pool to many engines this way. The borrowed pool must outlive the
+// engine, and two engines must not dispatch on it concurrently.
 
 #include <algorithm>
 #include <cassert>
@@ -215,8 +221,18 @@ class Engine {
     to_edge_.resize(graph.num_incidences());
     to_vertex_.resize(graph.num_incidences());
     build_slot_bases();
-    const unsigned threads = ThreadPool::resolve(options_.threads);
-    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    if (options_.pool != nullptr) {
+      // External-pool mode: run rounds on the borrowed pool (its size
+      // governs sharding; Options::threads is ignored). A 1-worker pool
+      // is equivalent to no pool at all.
+      if (options_.pool->size() > 1) pool_ = options_.pool;
+    } else {
+      const unsigned threads = ThreadPool::resolve(options_.threads);
+      if (threads > 1) {
+        owned_pool_ = std::make_unique<ThreadPool>(threads);
+        pool_ = owned_pool_.get();
+      }
+    }
     const unsigned shards = shard_count();
     vertex_shards_ = balanced_shards(vertex_slot_base_, shards);
     edge_shards_ = balanced_shards(edge_slot_base_, shards);
@@ -673,7 +689,8 @@ class Engine {
   std::vector<std::size_t> edge_slot_base_;    // size m+1
   std::vector<std::size_t> v_send_slot_;       // (v,k) -> edge-side slot
   std::vector<std::size_t> e_send_slot_;       // (e,j) -> vertex-side slot
-  std::unique_ptr<ThreadPool> pool_;           // null when threads == 1
+  ThreadPool* pool_ = nullptr;                 // null when single-threaded
+  std::unique_ptr<ThreadPool> owned_pool_;     // empty in external-pool mode
   std::vector<std::uint32_t> vertex_shards_;   // shard bounds, size shards+1
   std::vector<std::uint32_t> edge_shards_;
   std::vector<detail::ShardScratch> scratch_;  // per shard, both modes

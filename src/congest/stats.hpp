@@ -11,6 +11,8 @@
 
 namespace hypercover::congest {
 
+class ThreadPool;
+
 struct RoundStats {
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
@@ -92,6 +94,14 @@ struct Options {
   /// Activity-driven (default) vs reference dense execution; both are
   /// bit-identical in every protocol-observable quantity.
   Scheduling scheduling = Scheduling::kActive;
+  /// External-pool mode: a borrowed worker pool the engine dispatches its
+  /// rounds on instead of constructing one of its own. Non-owning; the
+  /// pool must outlive the engine, and `threads` is ignored (the pool's
+  /// size governs sharding). Engines sharing one pool must not execute
+  /// rounds concurrently — a scheduler (api::BatchScheduler) serializes
+  /// or isolates them. Transcripts stay bit-identical: the pool size only
+  /// changes how work is sharded, never what the protocol observes.
+  ThreadPool* pool = nullptr;
 };
 
 }  // namespace hypercover::congest

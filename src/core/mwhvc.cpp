@@ -288,7 +288,8 @@ std::vector<MwhvcResult> solve_mwhvc_batch(std::span<const MwhvcBatchJob> jobs,
           throw std::invalid_argument("solve_mwhvc_batch: null graph");
         }
         MwhvcOptions opts = jobs[i].opts;
-        opts.engine.threads = 1;  // parallelism is across jobs
+        opts.engine.threads = 1;     // parallelism is across jobs
+        opts.engine.pool = nullptr;  // concurrent engines must not share one
         results[i] = solve_mwhvc(*jobs[i].graph, opts);
       } catch (...) {
         errors[i] = std::current_exception();

@@ -46,6 +46,8 @@ struct MwhvcOptions {
   /// Engine configuration, including `engine.threads`: worker threads used
   /// to step agents inside a round (1 = sequential, 0 = hardware). Every
   /// thread count produces a bit-identical MwhvcResult and transcript hash.
+  /// `engine.pool` lends a caller-owned shared ThreadPool to the run
+  /// instead (external-pool mode; see congest::Options::pool).
   congest::Options engine;
 };
 

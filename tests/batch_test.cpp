@@ -1,0 +1,285 @@
+// BatchScheduler acceptance tests: a Solution produced inside a
+// concurrent batch must be bit-identical — transcript hash, cover, duals,
+// iterations, outcome — to solving the same job alone, at every pool
+// size, quantum, and scheduling policy; per-job RunControl (observer,
+// budget, cancellation) must behave exactly as a solo api::solve, and a
+// cancelled or failing job must leave the rest of the batch intact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/registry.hpp"
+#include "congest/thread_pool.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+#include "verify/verify.hpp"
+
+namespace hypercover {
+namespace {
+
+struct Family {
+  const char* name;
+  hg::Hypergraph graph;
+};
+
+std::vector<Family> families() {
+  std::vector<Family> fams;
+  fams.push_back({"random_uniform",
+                  hg::random_uniform(120, 260, 3, hg::exponential_weights(10),
+                                     41)});
+  fams.push_back({"bounded_degree",
+                  hg::random_bounded_degree(90, 140, 4, 6,
+                                            hg::uniform_weights(99), 42)});
+  fams.push_back({"hyper_star",
+                  hg::hyper_star(40, 3, hg::uniform_weights(17), 43)});
+  fams.push_back({"random_set_cover",
+                  hg::random_set_cover(50, 120, 3, hg::exponential_weights(8),
+                                       44)});
+  fams.push_back({"grid", hg::grid(8, 11, hg::bimodal_weights(64), 45)});
+  return fams;
+}
+
+constexpr const char* kAlgos[] = {"mwhvc", "kmw", "kvy", "greedy"};
+
+/// Everything except wall_ms must match exactly (doubles included — the
+/// runs are bit-identical computations, not approximately equal ones).
+void expect_bit_identical(const api::Solution& batch,
+                          const api::Solution& solo) {
+  EXPECT_EQ(batch.algorithm, solo.algorithm);
+  EXPECT_EQ(batch.in_cover, solo.in_cover);
+  EXPECT_EQ(batch.cover_weight, solo.cover_weight);
+  EXPECT_EQ(batch.duals, solo.duals);
+  EXPECT_EQ(batch.dual_total, solo.dual_total);
+  EXPECT_EQ(batch.levels, solo.levels);
+  EXPECT_EQ(batch.iterations, solo.iterations);
+  EXPECT_EQ(batch.outcome, solo.outcome);
+  EXPECT_EQ(batch.net.transcript_hash, solo.net.transcript_hash);
+  EXPECT_EQ(batch.net.rounds, solo.net.rounds);
+  EXPECT_EQ(batch.net.total_messages, solo.net.total_messages);
+  EXPECT_EQ(batch.net.total_bits, solo.net.total_bits);
+  EXPECT_EQ(batch.net.completed, solo.net.completed);
+  EXPECT_EQ(batch.certificate.valid(), solo.certificate.valid());
+  EXPECT_EQ(batch.certificate.cover_weight, solo.certificate.cover_weight);
+  EXPECT_EQ(batch.certificate.dual_total, solo.certificate.dual_total);
+}
+
+TEST(BatchScheduler, BitIdenticalToSoloAcrossFamiliesAlgosAndThreads) {
+  const auto fams = families();
+  std::vector<api::BatchJob> jobs;
+  std::vector<api::Solution> solo;
+  for (const Family& fam : fams) {
+    for (const char* algo : kAlgos) {
+      api::BatchJob job;
+      job.graph = &fam.graph;
+      job.algorithm = algo;
+      jobs.push_back(job);
+      solo.push_back(api::solve(algo, fam.graph, job.request));
+    }
+  }
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    api::BatchOptions opts;
+    opts.threads = threads;
+    api::BatchScheduler scheduler(opts);
+    const auto results = scheduler.solve_all(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " job#" +
+                   std::to_string(i) + " algo=" + jobs[i].algorithm);
+      expect_bit_identical(results[i], solo[i]);
+      EXPECT_TRUE(results[i].certificate.valid())
+          << results[i].certificate.error;
+    }
+  }
+}
+
+TEST(BatchScheduler, PolicyAndQuantumDoNotChangeResults) {
+  const auto fams = families();
+  std::vector<api::BatchJob> jobs;
+  std::vector<api::Solution> solo;
+  for (const Family& fam : fams) {
+    api::BatchJob job;
+    job.graph = &fam.graph;
+    job.algorithm = "mwhvc";
+    jobs.push_back(job);
+    solo.push_back(api::solve("mwhvc", fam.graph, job.request));
+  }
+  for (const api::BatchPolicy policy :
+       {api::BatchPolicy::kRoundRobin, api::BatchPolicy::kFewestLiveAgents}) {
+    for (const std::uint32_t quantum : {1u, 3u, 128u}) {
+      api::BatchOptions opts;
+      opts.threads = 4;
+      opts.policy = policy;
+      opts.round_quantum = quantum;
+      const auto results = api::solve_batch(jobs, opts);
+      ASSERT_EQ(results.size(), jobs.size());
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)) +
+                     " quantum=" + std::to_string(quantum) + " job#" +
+                     std::to_string(i));
+        expect_bit_identical(results[i], solo[i]);
+      }
+    }
+  }
+}
+
+TEST(BatchScheduler, SingleJobBorrowsThePoolAndStaysBitIdentical) {
+  const auto g =
+      hg::random_uniform(150, 320, 3, hg::exponential_weights(12), 51);
+  api::BatchJob job;
+  job.graph = &g;
+  job.algorithm = "mwhvc";
+  const api::Solution solo = api::solve("mwhvc", g, job.request);
+
+  api::BatchOptions opts;
+  opts.threads = 4;
+  api::BatchScheduler scheduler(opts);
+  EXPECT_EQ(scheduler.pool().size(), 4u);
+  const auto results = scheduler.solve_all({&job, 1});
+  ASSERT_EQ(results.size(), 1u);
+  expect_bit_identical(results[0], solo);
+}
+
+TEST(BatchScheduler, ExternalPoolModeMatchesOwnedPool) {
+  // The engine-level contract behind the single-job path: a run on a
+  // borrowed pool is bit-identical to the same run owning its threads.
+  const auto g =
+      hg::random_uniform(140, 300, 3, hg::exponential_weights(10), 52);
+  api::SolveRequest owned;
+  owned.engine.threads = 4;
+  const api::Solution a = api::solve("mwhvc", g, owned);
+
+  congest::ThreadPool pool(4);
+  api::SolveRequest borrowed;
+  borrowed.engine.pool = &pool;
+  const api::Solution b = api::solve("mwhvc", g, borrowed);
+  expect_bit_identical(a, b);
+  // The pool survives the solve and is reusable for the next one.
+  const api::Solution c = api::solve("kmw", g, borrowed);
+  EXPECT_EQ(c.net.transcript_hash, api::solve("kmw", g, {}).net.transcript_hash);
+}
+
+TEST(BatchScheduler, PerJobObserverFiresOncePerRound) {
+  const auto g =
+      hg::random_uniform(100, 220, 3, hg::exponential_weights(8), 53);
+  constexpr std::size_t kJobs = 6;
+  std::vector<int> observed(kJobs, 0);
+  std::vector<api::BatchJob> jobs(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs[i].graph = &g;
+    jobs[i].algorithm = i % 2 == 0 ? "mwhvc" : "kvy";
+    jobs[i].request.control.on_round = [&observed, i](const api::ProtocolRun&) {
+      ++observed[i];  // one worker steps a job at a time; handoffs are locked
+    };
+  }
+  api::BatchOptions opts;
+  opts.threads = 4;
+  opts.round_quantum = 2;  // force many requeues
+  const auto results = api::solve_batch(jobs, opts);
+  ASSERT_EQ(results.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(observed[i], static_cast<int>(results[i].net.rounds))
+        << "job " << i;
+    EXPECT_TRUE(results[i].net.completed);
+  }
+}
+
+TEST(BatchScheduler, MidBatchCancellationLeavesOtherJobsIntact) {
+  const auto fams = families();
+  std::vector<api::BatchJob> jobs;
+  std::vector<api::Solution> solo;
+  for (const Family& fam : fams) {
+    api::BatchJob job;
+    job.graph = &fam.graph;
+    job.algorithm = "mwhvc";
+    jobs.push_back(job);
+    solo.push_back(api::solve("mwhvc", fam.graph, job.request));
+  }
+  // Job 2 cancels itself cooperatively after its third round — a
+  // deterministic per-job trigger, independent of batch interleaving.
+  std::atomic<bool> cancel{false};
+  jobs[2].request.control.cancel = &cancel;
+  jobs[2].request.control.on_round = [&cancel](const api::ProtocolRun& run) {
+    if (run.rounds() == 3) cancel.store(true, std::memory_order_relaxed);
+  };
+  const api::Solution solo_cancelled =
+      api::solve("mwhvc", *jobs[2].graph, jobs[2].request);
+  ASSERT_EQ(solo_cancelled.outcome, api::RunOutcome::kCancelled);
+  cancel.store(false, std::memory_order_relaxed);  // re-arm for the batch
+
+  for (const std::uint32_t threads : {1u, 4u}) {
+    cancel.store(false, std::memory_order_relaxed);
+    api::BatchOptions opts;
+    opts.threads = threads;
+    opts.round_quantum = 2;
+    const auto results = api::solve_batch(jobs, opts);
+    ASSERT_EQ(results.size(), jobs.size());
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(results[2].outcome, api::RunOutcome::kCancelled);
+    EXPECT_FALSE(results[2].net.completed);
+    EXPECT_EQ(results[2].net.rounds, 3u);
+    expect_bit_identical(results[2], solo_cancelled);
+    for (const std::size_t i : std::vector<std::size_t>{0, 1, 3, 4}) {
+      SCOPED_TRACE("job#" + std::to_string(i));
+      expect_bit_identical(results[i], solo[i]);
+      EXPECT_EQ(results[i].outcome, api::RunOutcome::kCompleted);
+    }
+  }
+}
+
+TEST(BatchScheduler, RoundBudgetStopsOnlyThatJob) {
+  const auto g =
+      hg::random_uniform(120, 260, 3, hg::exponential_weights(10), 54);
+  std::vector<api::BatchJob> jobs(3);
+  for (auto& job : jobs) {
+    job.graph = &g;
+    job.algorithm = "mwhvc";
+  }
+  jobs[1].request.control.round_budget = 5;
+  const api::Solution solo_budget =
+      api::solve("mwhvc", g, jobs[1].request);
+  ASSERT_EQ(solo_budget.outcome, api::RunOutcome::kBudgetExhausted);
+  const api::Solution solo_full = api::solve("mwhvc", g, jobs[0].request);
+
+  api::BatchOptions opts;
+  opts.threads = 2;
+  opts.round_quantum = 2;  // budget 5 is consumed across 3 slices (2+2+1)
+  const auto results = api::solve_batch(jobs, opts);
+  ASSERT_EQ(results.size(), 3u);
+  expect_bit_identical(results[1], solo_budget);
+  EXPECT_EQ(results[1].net.rounds, 5u);
+  expect_bit_identical(results[0], solo_full);
+  expect_bit_identical(results[2], solo_full);
+}
+
+TEST(BatchScheduler, EmptyBatchAndErrorPropagation) {
+  api::BatchScheduler scheduler;
+  EXPECT_TRUE(scheduler.solve_all({}).empty());
+
+  const auto g = hg::hyper_star(12, 3, hg::unit_weights(), 55);
+  std::vector<api::BatchJob> jobs(2);
+  jobs[0].graph = &g;
+  jobs[0].algorithm = "mwhvc";
+  jobs[1].graph = &g;
+  jobs[1].algorithm = "no-such-algorithm";
+  EXPECT_THROW((void)scheduler.solve_all(jobs), std::invalid_argument);
+
+  jobs[1].algorithm = "mwhvc";
+  jobs[1].graph = nullptr;
+  EXPECT_THROW((void)scheduler.solve_all(jobs), std::invalid_argument);
+
+  // The scheduler survives a failed batch and solves the next one.
+  jobs[1].graph = &g;
+  const auto results = scheduler.solve_all(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].certificate.valid());
+  EXPECT_TRUE(results[1].certificate.valid());
+}
+
+}  // namespace
+}  // namespace hypercover

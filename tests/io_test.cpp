@@ -122,5 +122,60 @@ TEST(HypergraphIo, RejectsMalformedInput) {
   EXPECT_THROW((void)from_text("hypergraph 1 0\n0\n"), std::invalid_argument);
 }
 
+TEST(HypergraphIo, RejectsNegativeWeights) {
+  EXPECT_THROW((void)from_text("hypergraph 2 0\n5 -3\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text("hypergraph 1 1\n-1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(HypergraphIo, RejectsTruncatedInput) {
+  // Header cut off after the vertex count.
+  EXPECT_THROW((void)from_text("hypergraph 3\n"), std::runtime_error);
+  // Edge line promises 3 members but the file ends after 2.
+  EXPECT_THROW((void)from_text("hypergraph 4 1\n1 1 1 1\n3 0 1\n"),
+               std::runtime_error);
+  // Fewer edge lines than the header's edge count.
+  EXPECT_THROW((void)from_text("hypergraph 3 2\n1 1 1\n2 0 1\n"),
+               std::runtime_error);
+  // Huge claimed counts with a truncated body must error out quickly
+  // instead of allocating for the promise.
+  EXPECT_THROW((void)from_text("hypergraph 4000000000 0\n1 1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n4000000000 0 1\n"),
+               std::runtime_error);
+}
+
+TEST(HypergraphIo, RejectsMalformedNumbers) {
+  // Integer overflowing std::int64_t.
+  EXPECT_THROW((void)from_text("hypergraph 1 0\n99999999999999999999999\n"),
+               std::runtime_error);
+  // Trailing garbage fused onto a number ("12x" is not an integer).
+  EXPECT_THROW((void)from_text("hypergraph 2 0\n12x 5\n"),
+               std::runtime_error);
+  // Floating-point weight (format is integral).
+  EXPECT_THROW((void)from_text("hypergraph 1 0\n1.5\n"), std::runtime_error);
+  // Negative edge member.
+  EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 -1\n"),
+               std::runtime_error);
+}
+
+TEST(HypergraphIo, ErrorMessagesNameTheOffendingField) {
+  try {
+    (void)from_text("hypergraph 3 0\n1 2\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("weight"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)from_text("hypergraph 2 1\n1 1\n2 0\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("edge member"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace hypercover::hg
