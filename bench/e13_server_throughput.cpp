@@ -1,0 +1,329 @@
+// E13 — serving throughput (engineering bench, not a paper experiment):
+// requests/second and p50/p99 latency for the persistent solve service
+// (server::SolveServer on a Unix socket, N concurrent clients over
+// reusable connections) against the path it replaces — forking a fresh
+// hypercover_cli process per solve.
+//
+// Every timed request is digest-guarded: the transcript hash in each
+// Result (or each forked CLI's --stats-json record) is compared against
+// a solo in-process reference solve, so neither mode can look fast by
+// computing something else. The result cache is DISABLED in the gated
+// benchmark — it measures solve throughput, not cache-hit throughput;
+// a separate cache-hit benchmark reports the served-from-cache ceiling.
+//
+// The fork baseline needs the hypercover_cli binary: CMake bakes its
+// path in when the examples are built (HYPERCOVER_CLI_BIN), and the
+// HYPERCOVER_CLI environment variable overrides it. Without either, the
+// baseline points are skipped and only the server points run.
+
+#include "bench/common.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "congest/thread_pool.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/weights.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace hypercover;
+
+#ifndef HYPERCOVER_CLI_BIN
+#define HYPERCOVER_CLI_BIN ""
+#endif
+
+std::string cli_binary() {
+  if (const char* env = std::getenv("HYPERCOVER_CLI")) return env;
+  return HYPERCOVER_CLI_BIN;
+}
+
+constexpr std::size_t kRequests = 64;
+
+/// The serving workload: mixed generator families and algorithms, each
+/// instance written to disk (the fork baseline reads files) and kept as
+/// text (the server mode ships bytes), with a solo reference transcript.
+struct Workload {
+  std::string dir;
+  std::vector<std::string> paths;
+  std::vector<std::string> texts;
+  std::vector<std::string> algos;
+  std::vector<std::uint64_t> want_digest;
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload out;
+    char tmpl[] = "/tmp/hypercover_e13_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for the e13 workload");
+    }
+    out.dir = tmpl;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const auto seed = static_cast<std::uint64_t>(500 + i);
+      const auto n = static_cast<std::uint32_t>(260 + 30 * (i % 8));
+      hg::Hypergraph g;
+      switch (i % 3) {
+        case 0:
+          g = hg::random_uniform(n, 2 * n, 3, hg::exponential_weights(10),
+                                 seed);
+          break;
+        case 1:
+          g = hg::random_set_cover(n / 2, n, 3, hg::uniform_weights(99), seed);
+          break;
+        default:
+          g = hg::random_bounded_degree(n, n + n / 2, 4, 8,
+                                        hg::exponential_weights(8), seed);
+          break;
+      }
+      out.texts.push_back(hg::to_text(g));
+      out.paths.push_back(out.dir + "/inst_" + std::to_string(i) + ".hg");
+      std::ofstream(out.paths.back()) << out.texts.back();
+      out.algos.push_back(i % 4 == 3 ? "kvy" : "mwhvc");
+      out.want_digest.push_back(
+          api::solve(out.algos.back(), g, {}).net.transcript_hash);
+    }
+    return out;
+  }();
+  return w;
+}
+
+/// Runs `argv` to completion with its stdout/stderr dropped (the parent
+/// emits benchmark JSON on stdout; child chatter would corrupt it).
+/// Throws on spawn failure or nonzero exit.
+void run_child(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    throw std::runtime_error("child " + args[0] + " failed (status " +
+                             std::to_string(status) + ")");
+  }
+}
+
+/// Extracts "transcript_hash": "0x..." from a --stats-json record.
+std::uint64_t transcript_from_json(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"transcript_hash\": \"0x";
+  const std::size_t pos = text.find(key);
+  if (pos == std::string::npos) {
+    throw std::runtime_error("no transcript_hash in " + path);
+  }
+  return std::stoull(text.substr(pos + key.size()), nullptr, 16);
+}
+
+struct LatencyStats {
+  double p50_ms = 0, p99_ms = 0;
+};
+
+LatencyStats percentiles(std::vector<double>& ms) {
+  LatencyStats out;
+  if (ms.empty()) return out;
+  std::sort(ms.begin(), ms.end());
+  out.p50_ms = ms[ms.size() / 2];
+  out.p99_ms = ms[std::min(ms.size() - 1, (ms.size() * 99) / 100)];
+  return out;
+}
+
+/// Fans kRequests requests over `concurrency` threads (thread t takes
+/// requests j with j % concurrency == t), collecting per-request wall
+/// times. Rethrows the first worker failure.
+template <class PerRequest>
+std::vector<double> fan_out(unsigned concurrency, PerRequest&& per_request) {
+  std::vector<std::vector<double>> lat(concurrency);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  std::vector<std::string> errors(concurrency);
+  for (unsigned t = 0; t < concurrency; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (std::size_t j = t; j < kRequests; j += concurrency) {
+          const auto start = std::chrono::steady_clock::now();
+          per_request(t, j);
+          lat[t].push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+        }
+      } catch (const std::exception& ex) {
+        errors[t] = ex.what();
+        failed.store(true);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  if (failed.load()) {
+    for (const std::string& e : errors) {
+      if (!e.empty()) throw std::runtime_error("e13 worker failed: " + e);
+    }
+  }
+  std::vector<double> all;
+  for (std::vector<double>& v : lat) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+/// range(0) = client concurrency, range(1) = 0 for the fork-per-solve
+/// CLI loop, 1 for the persistent server (cache disabled).
+void BM_ServerThroughputDigestGuard(benchmark::State& state) {
+  const auto concurrency = static_cast<unsigned>(state.range(0));
+  const bool served = state.range(1) != 0;
+  const Workload& w = workload();
+
+  if (!served && cli_binary().empty()) {
+    state.SkipWithError(
+        "fork baseline needs hypercover_cli (build examples or set "
+        "HYPERCOVER_CLI)");
+    return;
+  }
+
+  std::unique_ptr<server::SolveServer> srv;
+  std::thread serve_thread;
+  std::vector<server::Client> clients(concurrency);
+  server::ServerOptions opts;
+  if (served) {
+    opts.listen = "unix:" + w.dir + "/serve.sock";
+    opts.threads = 0;           // one worker per hardware thread
+    opts.cache_entries = 0;     // measure solves, not cache hits
+    opts.max_inflight = 4 * concurrency;
+    srv = std::make_unique<server::SolveServer>(opts);
+    srv->start();
+    serve_thread = std::thread([&srv] { srv->serve(); });
+    for (server::Client& c : clients) c.connect(srv->address());
+  }
+
+  LatencyStats lat;
+  for (auto _ : state) {
+    std::vector<double> ms;
+    if (served) {
+      ms = fan_out(concurrency, [&](unsigned t, std::size_t j) {
+        clients[t].submit_graph_text(w.texts[j]);
+        const server::WireResult res = clients[t].solve(w.algos[j]);
+        if (res.transcript_hash != w.want_digest[j]) {
+          throw std::runtime_error("request " + std::to_string(j) +
+                                   " diverged from its solo transcript");
+        }
+      });
+    } else {
+      ms = fan_out(concurrency, [&](unsigned t, std::size_t j) {
+        const std::string stats =
+            w.dir + "/stats_" + std::to_string(t) + ".json";
+        run_child({cli_binary(), "--input=" + w.paths[j],
+                   "--algo=" + w.algos[j], "--quiet",
+                   "--stats-json=" + stats});
+        if (transcript_from_json(stats) != w.want_digest[j]) {
+          throw std::runtime_error("CLI request " + std::to_string(j) +
+                                   " diverged from its solo transcript");
+        }
+      });
+    }
+    lat = percentiles(ms);
+  }
+
+  if (served) {
+    clients.clear();  // close connections before stopping the server
+    srv->request_stop();
+    serve_thread.join();
+    srv.reset();
+  }
+
+  state.counters["concurrency"] = static_cast<double>(concurrency);
+  state.counters["threads"] = static_cast<double>(
+      served ? congest::ThreadPool::resolve(0) : concurrency);
+  state.counters["p50_ms"] = lat.p50_ms;
+  state.counters["p99_ms"] = lat.p99_ms;
+  // items_per_second == requests per second, the serving metric.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRequests));
+}
+BENCHMARK(BM_ServerThroughputDigestGuard)
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The served-from-cache ceiling: every request after the first pass is
+/// a digest-keyed cache hit (report-only; no gate).
+void BM_ServerCacheHitDigestGuard(benchmark::State& state) {
+  const auto concurrency = static_cast<unsigned>(state.range(0));
+  const Workload& w = workload();
+
+  server::ServerOptions opts;
+  opts.listen = "unix:" + w.dir + "/cache.sock";
+  opts.cache_entries = 2 * kRequests;
+  opts.max_inflight = 4 * concurrency;
+  server::SolveServer srv(opts);
+  srv.start();
+  std::thread serve_thread([&srv] { srv.serve(); });
+  std::vector<server::Client> clients(concurrency);
+  for (server::Client& c : clients) c.connect(srv.address());
+
+  // Warm the cache once, outside timing.
+  (void)fan_out(concurrency, [&](unsigned t, std::size_t j) {
+    clients[t].submit_graph_text(w.texts[j]);
+    (void)clients[t].solve(w.algos[j]);
+  });
+
+  for (auto _ : state) {
+    (void)fan_out(concurrency, [&](unsigned t, std::size_t j) {
+      clients[t].submit_graph_text(w.texts[j]);
+      const server::WireResult res = clients[t].solve(w.algos[j]);
+      if (res.transcript_hash != w.want_digest[j] || !res.cache_hit) {
+        throw std::runtime_error("cache-hit request " + std::to_string(j) +
+                                 " was not a bit-identical hit");
+      }
+    });
+  }
+
+  clients.clear();
+  srv.request_stop();
+  serve_thread.join();
+  state.counters["concurrency"] = static_cast<double>(concurrency);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRequests));
+}
+BENCHMARK(BM_ServerCacheHitDigestGuard)
+    ->Args({8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

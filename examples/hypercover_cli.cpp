@@ -8,6 +8,18 @@
 //       [--stats-json[=path]]
 //   ./hypercover_cli --batch=manifest.txt [--threads=N] [--algo=<default>]
 //       [--batch-policy=rr|live] [--batch-quantum=32] [common knobs]
+//   ./hypercover_cli --connect=<unix:/path | host:port> [solve flags]
+//       [--shutdown] [--server-stats]
+//
+// --connect=<addr> routes an ordinary single solve through a running
+// hypercover_served daemon instead of solving in-process: the instance
+// text is sent over the socket, the server dispatches it on its shared
+// scheduler (or answers from its digest-keyed result cache), and the
+// returned cover and duals are RE-VERIFIED LOCALLY against the instance
+// — the exit codes keep their meaning without trusting the server.
+// --shutdown asks the daemon to drain and exit; --server-stats prints
+// its serving counters. Exit code 3 when the server answers Busy
+// (admission control rejected the request).
 //
 // --list-algos prints one `name<TAB>kind<TAB>description` line per
 // registered algorithm (the valid --algo values) and exits. Dispatch is
@@ -56,7 +68,9 @@
 #include "core/mwhvc.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
+#include "server/client.hpp"
 #include "util/cli.hpp"
+#include "util/digest.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -86,11 +100,17 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Serving provenance of one solve record: local in-process, or served
+/// over a --connect socket (cold vs result-cache hit).
+enum class Served { kLocal, kCold, kCacheHit };
+
 /// Renders the solve record as a single JSON object. The transcript hash
-/// is emitted as a hex string: JSON numbers lose 64-bit integer
-/// precision.
+/// and solve digest are emitted as hex strings: JSON numbers lose 64-bit
+/// integer precision. `solve_digest` is util::solve_digest — the same
+/// key the server cache uses.
 std::string stats_json(const api::Solution& sol, std::uint32_t threads,
-                       bool dense, std::size_t cover_size) {
+                       bool dense, std::size_t cover_size,
+                       std::uint64_t solve_digest, Served served) {
   const congest::RunStats& net = sol.net;
   const verify::Certificate& cert = sol.certificate;
   std::ostringstream os;
@@ -107,6 +127,14 @@ std::string stats_json(const api::Solution& sol, std::uint32_t threads,
   os << "  \"bandwidth_violations\": " << net.bandwidth_violations << ",\n";
   os << "  \"transcript_hash\": \"0x" << std::hex << net.transcript_hash
      << std::dec << "\",\n";
+  os << "  \"solve_digest\": \"0x" << std::hex << solve_digest << std::dec
+     << "\",\n";
+  os << "  \"served\": " << (served == Served::kLocal ? "false" : "true")
+     << ",\n";
+  if (served != Served::kLocal) {
+    os << "  \"cache_hit\": " << (served == Served::kCacheHit ? "true" : "false")
+       << ",\n";
+  }
   os << "  \"agents_visited\": " << net.agents_visited << ",\n";
   os << "  \"agent_steps\": " << net.agent_steps << ",\n";
   os << "  \"slots_processed\": " << net.slots_processed << ",\n";
@@ -168,6 +196,187 @@ int parse_knobs(const util::Cli& cli, CommonKnobs& k) {
     k.req.mwhvc.alpha_fixed = cli.get("alpha", 2.0);
   }
   return 0;
+}
+
+/// Prints / records one solved instance — certificate gate, --stats-json,
+/// --cover-only, and the human-readable block — exactly as the local
+/// path always has. Shared by the in-process and --connect modes; the
+/// certificate on `sol` must already be the LOCALLY recomputed one, so
+/// the exit-code contract (2 on verification failure) holds without
+/// trusting any server.
+int emit_solution(const util::Cli& cli, const hg::Hypergraph& g,
+                  const api::Solution& sol, const CommonKnobs& knobs,
+                  std::uint64_t solve_digest, Served served) {
+  const bool quiet = cli.has("quiet");
+  const verify::Certificate& cert = sol.certificate;
+  std::size_t cover_size = 0;
+  for (const bool b : sol.in_cover) cover_size += b;
+  // The stats record is written even for a failed/partial run (the
+  // certificate object in it says so); the exit code still reports the
+  // verification failure below.
+  bool json_on_stdout = false;
+  if (cli.has("stats-json")) {
+    const std::string json = stats_json(sol, knobs.threads, knobs.dense,
+                                        cover_size, solve_digest, served);
+    const std::string out_path = cli.get("stats-json", std::string("-"));
+    // A bare --stats-json (no =path) parses as "1": dump to stdout, and
+    // suppress the human-readable block below so stdout stays parseable
+    // (--cover-only still appends its vertex list).
+    if (out_path == "-" || out_path == "1" || out_path.empty()) {
+      std::cout << json;
+      json_on_stdout = true;
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << json;
+      if (!quiet) std::cerr << "stats written to " << out_path << "\n";
+    }
+  }
+  if (!cert.cover_valid) {
+    std::cerr << "VERIFICATION FAILED: " << cert.error << "\n";
+    return 2;
+  }
+  if (cli.has("cover-only")) {
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (sol.in_cover[v]) std::cout << v << "\n";
+    }
+    return 0;
+  }
+  if (json_on_stdout) return 0;
+  std::cout << "algorithm: " << sol.algorithm << "\n";
+  std::cout << "cover_weight: " << cert.cover_weight << "\n";
+  std::cout << "cover_size: " << cover_size << "\n";
+  if (cert.dual_total > 0) {
+    std::cout << "dual_lower_bound: " << cert.dual_total << "\n";
+    std::cout << "certified_ratio: " << cert.certified_ratio << "\n";
+  }
+  if (sol.net.rounds > 0) std::cout << "rounds: " << sol.net.rounds << "\n";
+  std::cout << "cover:";
+  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (sol.in_cover[v]) std::cout << ' ' << v;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+/// Reads the whole --input source (file or stdin) as raw text — the
+/// bytes a --connect solve ships to the server verbatim.
+int read_input_text(const util::Cli& cli, std::string& text) {
+  const std::string path = cli.get("input", std::string("-"));
+  std::ostringstream buf;
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+    buf << in.rdbuf();
+  }
+  text = std::move(buf).str();
+  return 0;
+}
+
+/// --connect mode: route the solve through a hypercover_served daemon,
+/// then re-verify the returned cover and duals locally.
+int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
+  const std::string address = cli.get("connect", std::string());
+  const bool quiet = cli.has("quiet");
+  server::Client client;
+  client.connect(address);
+
+  if (cli.has("shutdown")) {
+    client.shutdown_server();
+    if (!quiet) std::cerr << "server at " << address << " shut down\n";
+    return 0;
+  }
+  if (cli.has("server-stats")) {
+    const server::ServerStats s = client.stats();
+    std::cout << "connections: " << s.connections << "\n"
+              << "requests: " << s.requests << "\n"
+              << "solves: " << s.solves << "\n"
+              << "cache_hits: " << s.cache_hits << "\n"
+              << "cache_misses: " << s.cache_misses << "\n"
+              << "cache_entries: " << s.cache_entries << "\n"
+              << "busy_rejections: " << s.busy_rejections << "\n"
+              << "protocol_errors: " << s.protocol_errors << "\n"
+              << "in_flight: " << s.in_flight << "\n"
+              << "queued_bytes: " << s.queued_bytes << "\n"
+              << "pool_threads: " << s.pool_threads << "\n"
+              << "max_inflight: " << s.max_inflight << "\n";
+    return 0;
+  }
+
+  const std::string algo = cli.get("algo", std::string("mwhvc"));
+  std::string text;
+  if (const int rc = read_input_text(cli, text); rc != 0) return rc;
+  const hg::Hypergraph g = hg::from_text(text);  // local copy: verification
+  if (!quiet) std::cerr << "instance: " << hg::compute_stats(g) << "\n";
+  if (cli.has("threads") || knobs.dense) {
+    std::cerr << "note: --threads/--dense are local-engine knobs; the "
+                 "server's own pool configuration applies\n";
+  }
+
+  server::SolveKnobs wire_knobs;
+  wire_knobs.eps = knobs.req.eps;
+  wire_knobs.f_approx = knobs.req.f_approx;
+  if (cli.has("max-rounds")) wire_knobs.max_rounds = knobs.req.engine.max_rounds;
+  wire_knobs.appendix_c = knobs.req.mwhvc.appendix_c;
+  if (knobs.req.mwhvc.alpha_mode == core::AlphaMode::kFixed) {
+    wire_knobs.use_alpha_fixed = true;
+    wire_knobs.alpha_fixed = knobs.req.mwhvc.alpha_fixed;
+  }
+
+  server::WireResult wire;
+  try {
+    // Busy can answer either frame: Solve on the in-flight limits, and
+    // SubmitGraph when the instance alone exceeds the byte budget.
+    client.submit_graph_text(text);
+    wire = client.solve(algo, wire_knobs);
+  } catch (const server::BusyError& busy) {
+    std::cerr << "error: " << busy.what() << "\n";
+    return 3;
+  }
+
+  api::Solution sol;
+  sol.algorithm = wire.algorithm;
+  sol.in_cover = std::move(wire.in_cover);
+  sol.duals = std::move(wire.duals);
+  sol.cover_weight = wire.cover_weight;
+  sol.dual_total = wire.dual_total;
+  sol.iterations = wire.iterations;
+  sol.net.rounds = wire.rounds;
+  sol.net.completed = wire.completed;
+  sol.net.total_messages = wire.total_messages;
+  sol.net.total_bits = wire.total_bits;
+  sol.net.transcript_hash = wire.transcript_hash;
+  sol.outcome = static_cast<api::RunOutcome>(wire.outcome);
+  sol.wall_ms = wire.wall_ms;
+  // Never trust the server's certificate bits: re-check the cover and
+  // packing against our own parse of the instance.
+  sol.certificate = verify::certify(g, sol.in_cover, sol.duals);
+
+  // The server keys its cache with the same util::solve_digest; a
+  // mismatch means the two sides disagree about what was solved.
+  const std::uint64_t local_digest =
+      util::solve_digest(g, algo, server::to_request(wire_knobs));
+  if (local_digest != wire.solve_digest) {
+    std::cerr << "warning: server solve digest 0x" << std::hex
+              << wire.solve_digest << " != local 0x" << local_digest
+              << std::dec << "\n";
+  }
+  if (!quiet) {
+    std::cerr << "served by " << address << ": "
+              << (wire.cache_hit ? "cache hit" : "cold solve") << ", server "
+              << (wire.cert_valid ? "certified" : "UNCERTIFIED") << "\n";
+    if (sol.net.rounds > 0) std::cerr << "network: " << sol.net << "\n";
+  }
+  return emit_solution(cli, g, sol, knobs, wire.solve_digest,
+                       wire.cache_hit ? Served::kCacheHit : Served::kCold);
 }
 
 const char* outcome_name(api::RunOutcome outcome) {
@@ -296,6 +505,14 @@ int run(const util::Cli& cli) {
 
   CommonKnobs knobs;
   if (const int rc = parse_knobs(cli, knobs); rc != 0) return rc;
+  if (cli.has("connect")) {
+    if (cli.has("batch")) {
+      std::cerr << "error: --batch is not supported with --connect (issue "
+                   "one request per instance instead)\n";
+      return 1;
+    }
+    return run_connect(cli, knobs);
+  }
   if (cli.has("batch")) return run_batch(cli, knobs);
 
   const std::string algo = cli.get("algo", std::string("mwhvc"));
@@ -332,58 +549,8 @@ int run(const util::Cli& cli) {
   if (!quiet && solver->steppable) {
     std::cerr << "network: " << sol.net << "\n";
   }
-
-  const verify::Certificate& cert = sol.certificate;
-  std::size_t cover_size = 0;
-  for (const bool b : sol.in_cover) cover_size += b;
-  // The stats record is written even for a failed/partial run (the
-  // certificate object in it says so); the exit code still reports the
-  // verification failure below.
-  bool json_on_stdout = false;
-  if (cli.has("stats-json")) {
-    const std::string json = stats_json(sol, threads, dense, cover_size);
-    const std::string out_path = cli.get("stats-json", std::string("-"));
-    // A bare --stats-json (no =path) parses as "1": dump to stdout, and
-    // suppress the human-readable block below so stdout stays parseable
-    // (--cover-only still appends its vertex list).
-    if (out_path == "-" || out_path == "1" || out_path.empty()) {
-      std::cout << json;
-      json_on_stdout = true;
-    } else {
-      std::ofstream out(out_path);
-      if (!out) {
-        std::cerr << "error: cannot write " << out_path << "\n";
-        return 1;
-      }
-      out << json;
-      if (!quiet) std::cerr << "stats written to " << out_path << "\n";
-    }
-  }
-  if (!cert.cover_valid) {
-    std::cerr << "VERIFICATION FAILED: " << cert.error << "\n";
-    return 2;
-  }
-  if (cli.has("cover-only")) {
-    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (sol.in_cover[v]) std::cout << v << "\n";
-    }
-    return 0;
-  }
-  if (json_on_stdout) return 0;
-  std::cout << "algorithm: " << sol.algorithm << "\n";
-  std::cout << "cover_weight: " << cert.cover_weight << "\n";
-  std::cout << "cover_size: " << cover_size << "\n";
-  if (cert.dual_total > 0) {
-    std::cout << "dual_lower_bound: " << cert.dual_total << "\n";
-    std::cout << "certified_ratio: " << cert.certified_ratio << "\n";
-  }
-  if (sol.net.rounds > 0) std::cout << "rounds: " << sol.net.rounds << "\n";
-  std::cout << "cover:";
-  for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (sol.in_cover[v]) std::cout << ' ' << v;
-  }
-  std::cout << "\n";
-  return 0;
+  return emit_solution(cli, g, sol, knobs,
+                       util::solve_digest(g, algo, knobs.req), Served::kLocal);
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+// The hypercover solve daemon: a persistent server::SolveServer on a
+// Unix-domain or TCP socket, dispatching every request on one shared
+// api::BatchScheduler pool with a digest-keyed result cache and typed
+// Busy overload answers.
+//
+//   ./hypercover_served [--listen=unix:/tmp/hypercover.sock | host:port]
+//       [--threads=0] [--cache-entries=256] [--max-inflight=64]
+//       [--max-queued-bytes=67108864] [--quantum=32] [--quiet]
+//
+// Runs until a client sends a Shutdown frame (hypercover_cli
+// --connect=<addr> --shutdown) or the process receives SIGINT/SIGTERM;
+// either way the server drains — in-flight solves finish and deliver
+// their Results — before exit. Final serving counters go to stderr.
+//
+// Exit code 0 after a clean drain, 1 on startup/usage errors.
+
+#include <csignal>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "server/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hypercover;
+
+server::SolveServer* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  // request_stop() is one atomic store plus one pipe write — both
+  // async-signal-safe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int run(const util::Cli& cli) {
+  server::ServerOptions opts;
+  opts.listen = cli.get("listen", opts.listen);
+  constexpr std::int64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+  const std::int64_t threads = cli.get("threads", 0);
+  const std::int64_t cache_entries = cli.get("cache-entries", 256);
+  const std::int64_t max_inflight = cli.get("max-inflight", 64);
+  const std::int64_t max_queued =
+      cli.get("max-queued-bytes", static_cast<std::int64_t>(64) << 20);
+  const std::int64_t quantum = cli.get("quantum", 32);
+  if (threads < 0 || threads > kU32Max || cache_entries < 0 ||
+      max_inflight < 0 || max_inflight > kU32Max || max_queued < 0 ||
+      quantum < 1 || quantum > kU32Max) {
+    std::cerr << "error: a numeric flag is out of range\n";
+    return 1;
+  }
+  opts.threads = static_cast<std::uint32_t>(threads);
+  opts.cache_entries = static_cast<std::size_t>(cache_entries);
+  opts.max_inflight = static_cast<std::uint32_t>(max_inflight);
+  opts.max_queued_bytes = static_cast<std::uint64_t>(max_queued);
+  opts.round_quantum = static_cast<std::uint32_t>(quantum);
+
+  server::SolveServer srv(opts);
+  srv.start();
+  g_server = &srv;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  if (!cli.has("quiet")) {
+    std::cerr << "hypercover_served: listening on " << srv.address()
+              << " (cache " << opts.cache_entries << " entries, max "
+              << opts.max_inflight << " in-flight jobs)\n";
+  }
+  srv.serve();
+  g_server = nullptr;
+
+  const server::ServerStats stats = srv.stats();
+  if (!cli.has("quiet")) {
+    std::cerr << "hypercover_served: drained after " << stats.connections
+              << " connections, " << stats.solves << " solves ("
+              << stats.cache_hits << " cache hits, " << stats.busy_rejections
+              << " busy rejections, " << stats.protocol_errors
+              << " protocol errors)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(util::Cli(argc, argv));
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+}

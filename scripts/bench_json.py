@@ -51,6 +51,7 @@ SOLVE_FIELDS = (
     "algo", "threads", "scheduling", "rounds", "completed",
     "total_messages", "total_bits", "max_message_bits",
     "bandwidth_limit_bits", "bandwidth_violations", "transcript_hash",
+    "solve_digest", "served", "cache_hit",
     "agents_visited", "agent_steps", "slots_processed",
     "sparse_account_passes", "dense_account_passes", "cover_weight",
     "cover_size", "dual_total", "certified_ratio", "certificate",
@@ -90,7 +91,7 @@ def summarize(raw):
                        "tail_rounds", "items_per_round", "steps_per_round",
                        "links", "agents_visited", "agent_steps",
                        "slots_processed", "sparse_passes", "dense_passes",
-                       "batch"):
+                       "batch", "concurrency", "p50_ms", "p99_ms"):
                 point[key] = value
         points.append(point)
     return points
@@ -142,7 +143,11 @@ def main():
         "is the acceptance metric: active must stay >= 5x below dense. "
         "BatchThroughput benches compare the sequential solve loop (/0) "
         "with the shared-pool BatchScheduler (/1) in jobs per second; the "
-        "scheduler must reach >= 1.5x at batch 64 on multi-core hosts.")
+        "scheduler must reach >= 1.5x at batch 64 on multi-core hosts. "
+        "ServerThroughput benches compare the fork-per-solve CLI loop (/0) "
+        "with the persistent solve server (/1, cache disabled) in requests "
+        "per second at the given concurrency; the server must reach >= "
+        "1.5x at concurrency 8 on multi-core hosts (report-only on 1 CPU).")
 
     context = raw.get("context", {})
     run_record = {
@@ -214,6 +219,37 @@ def main():
               f"vs scheduler {sched['items_per_second']:.0f} jobs/s "
               f"({ratio:.2f}x on {workers:.0f} workers) {status}",
               file=sys.stderr)
+        ok = ok and good
+
+    # Gate: persistent solve server vs the fork-per-solve CLI loop, in
+    # requests/s. Names look like BM_ServerThroughputDigestGuard/8/1/
+    # real_time; parts[1] is the client concurrency, mode 0 the CLI loop,
+    # mode 1 the server (result cache disabled). Enforced (>= 1.5x at
+    # concurrency 8) only when the server pool had >= 2 workers — on a
+    # single-CPU host the ratio is just reported.
+    servers = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "ServerThroughput" in parts[0] and len(parts) >= 3 \
+                and "items_per_second" in p:
+            servers.setdefault(parts[1], {})[parts[2]] = p
+    for conc, modes in sorted(servers.items(), key=lambda kv: int(kv[0])):
+        loop, served = modes.get("0"), modes.get("1")
+        if loop is None or served is None:
+            continue
+        ratio = served["items_per_second"] / max(loop["items_per_second"],
+                                                 1e-9)
+        workers = served.get("threads", 1)
+        enforced = workers >= 2 and conc == "8"
+        good = ratio >= 1.5 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced and workers < 2:
+            status += " (report-only: single worker)"
+        print(f"ServerThroughput/{conc}: cli-loop "
+              f"{loop['items_per_second']:.0f} vs server "
+              f"{served['items_per_second']:.0f} req/s "
+              f"({ratio:.2f}x, p99 {served.get('p99_ms', 0):.1f} ms) "
+              f"{status}", file=sys.stderr)
         ok = ok and good
     return 0 if ok else 1
 

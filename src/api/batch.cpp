@@ -6,9 +6,12 @@
 #include <cstddef>
 #include <deque>
 #include <exception>
+#include <iterator>
 #include <limits>
+#include <list>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "api/run.hpp"
@@ -21,18 +24,25 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Mutable per-job state. Only the worker currently holding the job's
-/// index touches it; hand-offs go through the scheduler mutex, which
-/// orders them.
-struct JobState {
-  std::unique_ptr<ProtocolRun> run;  // null until started / for sequential
-  bool started = false;
-  Clock::time_point start{};
-};
-
 }  // namespace
 
 struct BatchScheduler::Impl {
+  /// One job's full lifecycle state. Only the worker currently holding
+  /// the slot touches its mutable parts; hand-offs go through the
+  /// scheduler mutex, which orders them. Batch slots live in `batch`
+  /// for the duration of one solve_all(); service slots live in
+  /// `service_slots` and are erased right after their callback fires.
+  struct Slot {
+    BatchJob job;                      // owned copy (graph stays caller-owned)
+    std::unique_ptr<ProtocolRun> run;  // null until started / for sequential
+    bool started = false;
+    Clock::time_point start{};
+    Solution result;
+    std::exception_ptr error;
+    std::list<Slot>::iterator self;  // service mode: position to erase
+    bool service = false;
+  };
+
   explicit Impl(const BatchOptions& options)
       : opts(options), pool(congest::ThreadPool::resolve(options.threads)) {
     if (opts.round_quantum == 0) opts.round_quantum = 1;
@@ -41,69 +51,72 @@ struct BatchScheduler::Impl {
   BatchOptions opts;
   congest::ThreadPool pool;
 
-  // --- one solve_all() invocation ------------------------------------------
+  // --- shared work-queue state (one solve_all() OR one service session) ----
 
-  std::span<const BatchJob> jobs;
-  std::vector<JobState> states;
-  std::vector<Solution> results;
-  std::vector<std::exception_ptr> errors;
+  std::vector<Slot> batch;        // solve_all jobs, in job order
+  std::list<Slot> service_slots;  // submitted jobs, erased on completion
 
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::size_t> ready;  // runnable job indices, FIFO order
+  std::deque<Slot*> ready;  // runnable slots, FIFO order
   std::size_t unfinished = 0;
+  /// True once no further work will be added: from the start in
+  /// solve_all(), from stop_service() in service mode. Workers exit when
+  /// `closed && unfinished == 0`.
+  bool closed = true;
+  bool service_on = false;
+  std::thread driver;  // service mode: blocks in pool.run()
 
-  /// Picks the next runnable job per policy. Caller holds `mu`; `ready`
-  /// is non-empty. Reading live_agents() here is safe: a job in `ready`
+  /// Picks the next runnable slot per policy. Caller holds `mu`; `ready`
+  /// is non-empty. Reading live_agents() here is safe: a slot in `ready`
   /// is owned by nobody, and the mutex ordered its last step.
-  std::size_t pick_locked() {
+  Slot* pick_locked() {
     std::size_t pos = 0;
     if (opts.policy == BatchPolicy::kFewestLiveAgents) {
       std::size_t best = std::numeric_limits<std::size_t>::max();
       for (std::size_t k = 0; k < ready.size(); ++k) {
-        const JobState& js = states[ready[k]];
         // Unstarted jobs report 0 live agents, so construction (the
         // heavy first slice) is never starved behind long runs.
-        const std::size_t live = js.run != nullptr ? js.run->live_agents() : 0;
+        const std::size_t live =
+            ready[k]->run != nullptr ? ready[k]->run->live_agents() : 0;
         if (live < best) {
           best = live;
           pos = k;
         }
       }
     }
-    const std::size_t i = ready[pos];
+    Slot* s = ready[pos];
     ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pos));
-    return i;
+    return s;
   }
 
-  /// Extracts, stamps, and certifies job i's Solution — the same
-  /// stamping api::solve performs, so a batch Solution is
+  /// Extracts, stamps, and certifies the slot's Solution — the same
+  /// stamping api::solve performs, so a scheduled Solution is
   /// indistinguishable from a solo one (wall_ms aside, which here spans
-  /// construction to extraction under interleaving).
-  void finalize(std::size_t i) {
-    JobState& js = states[i];
-    Solution sol = js.run->finish();
-    js.run.reset();
-    if (sol.algorithm.empty()) sol.algorithm = jobs[i].algorithm;
+  /// construction to extraction under interleaving) — then fires the
+  /// per-job completion callback on this (the driving) thread.
+  void finalize(Slot& s) {
+    Solution sol = s.run->finish();
+    s.run.reset();
+    if (sol.algorithm.empty()) sol.algorithm = s.job.algorithm;
     sol.wall_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - js.start)
+        std::chrono::duration<double, std::milli>(Clock::now() - s.start)
             .count();
-    if (jobs[i].request.certify) {
-      sol.certificate =
-          verify::certify(*jobs[i].graph, sol.in_cover, sol.duals);
+    if (s.job.request.certify) {
+      sol.certificate = verify::certify(*s.job.graph, sol.in_cover, sol.duals);
     }
-    results[i] = std::move(sol);
+    s.result = std::move(sol);
+    if (s.job.on_complete) s.job.on_complete(s.result);
   }
 
-  /// Advances job i by one scheduling slice. Returns true when the job
+  /// Advances the slot by one scheduling slice. Returns true when the job
   /// is finished (completed, stopped, or failed) and must not requeue.
-  bool run_slice(std::size_t i) {
-    JobState& js = states[i];
-    const BatchJob& job = jobs[i];
+  bool run_slice(Slot& s) {
+    const BatchJob& job = s.job;
     try {
-      if (!js.started) {
-        js.started = true;
-        js.start = Clock::now();
+      if (!s.started) {
+        s.started = true;
+        s.start = Clock::now();
         if (job.graph == nullptr) {
           throw std::invalid_argument("BatchScheduler: job has a null graph");
         }
@@ -111,13 +124,14 @@ struct BatchScheduler::Impl {
         if (solver != nullptr && !solver->steppable) {
           // Sequential references run as one slice; api::solve stamps
           // name, wall time, and certificate itself.
-          results[i] = api::solve(job.algorithm, *job.graph, job.request);
+          s.result = api::solve(job.algorithm, *job.graph, job.request);
+          if (job.on_complete) job.on_complete(s.result);
           return true;
         }
         SolveRequest req = job.request;
         req.engine.threads = 1;     // parallelism is across jobs
         req.engine.pool = nullptr;  // engines never share the pool mid-batch
-        js.run = make_run(job.algorithm, *job.graph, req);  // throws unknown
+        s.run = make_run(job.algorithm, *job.graph, req);  // throws unknown
       }
       // Drive one quantum. The slice budget never exceeds what the job's
       // own round budget still allows, so the recorded stop reason of the
@@ -127,39 +141,45 @@ struct BatchScheduler::Impl {
       const std::uint32_t job_budget = job.request.control.round_budget;
       if (job_budget != 0) {
         slice.round_budget =
-            std::min(opts.round_quantum, job_budget - js.run->rounds());
+            std::min(opts.round_quantum, job_budget - s.run->rounds());
       }
-      const RunOutcome outcome = drive(*js.run, slice);
+      const RunOutcome outcome = drive(*s.run, slice);
       if (outcome == RunOutcome::kBudgetExhausted &&
-          (job_budget == 0 || js.run->rounds() < job_budget)) {
+          (job_budget == 0 || s.run->rounds() < job_budget)) {
         return false;  // only the slice quantum ran out — requeue
       }
-      finalize(i);
+      finalize(s);
       return true;
     } catch (...) {
-      errors[i] = std::current_exception();
-      js.run.reset();
+      s.error = std::current_exception();
+      s.run.reset();
+      if (job.on_error) job.on_error(s.error);
       return true;
     }
   }
 
-  /// Worker loop body shared by every pool worker: pick, slice, requeue.
+  /// Worker loop body shared by every pool worker and both modes: pick,
+  /// slice, requeue. Exits once the queue is closed and drained.
   void work() {
     for (;;) {
-      std::size_t i;
+      Slot* s;
       {
         std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [this] { return unfinished == 0 || !ready.empty(); });
-        if (ready.empty()) return;  // all jobs finished
-        i = pick_locked();
+        cv.wait(lock,
+                [this] { return !ready.empty() || (closed && unfinished == 0); });
+        if (ready.empty()) return;  // closed and fully drained
+        s = pick_locked();
       }
-      const bool finished = run_slice(i);
+      const bool finished = run_slice(*s);
       {
         std::lock_guard<std::mutex> lock(mu);
         if (finished) {
-          if (--unfinished == 0) cv.notify_all();
+          // The callback already fired; a service slot (and its owned
+          // BatchJob copy) is dead weight from here on.
+          if (s->service) service_slots.erase(s->self);
+          if (--unfinished == 0 && closed) cv.notify_all();
         } else {
-          ready.push_back(i);
+          ready.push_back(s);
           cv.notify_one();
         }
       }
@@ -179,14 +199,21 @@ struct BatchScheduler::Impl {
     if (solver != nullptr && solver->steppable && pool.size() > 1) {
       req.engine.pool = &pool;
     }
-    return api::solve(job.algorithm, *job.graph, req);
+    try {
+      Solution sol = api::solve(job.algorithm, *job.graph, req);
+      if (job.on_complete) job.on_complete(sol);
+      return sol;
+    } catch (...) {
+      if (job.on_error) job.on_error(std::current_exception());
+      throw;
+    }
   }
 };
 
 BatchScheduler::BatchScheduler(const BatchOptions& opts)
     : impl_(std::make_unique<Impl>(opts)) {}
 
-BatchScheduler::~BatchScheduler() = default;
+BatchScheduler::~BatchScheduler() { stop_service(); }
 
 congest::ThreadPool& BatchScheduler::pool() noexcept { return impl_->pool; }
 
@@ -197,26 +224,91 @@ const BatchOptions& BatchScheduler::options() const noexcept {
 std::vector<Solution> BatchScheduler::solve_all(
     std::span<const BatchJob> jobs) {
   Impl& im = *impl_;
+  if (service_active()) {
+    throw std::logic_error("BatchScheduler: solve_all during service mode");
+  }
   if (jobs.empty()) return {};
   if (jobs.size() == 1) return {im.solve_single(jobs[0])};
 
-  im.jobs = jobs;
-  im.states = std::vector<JobState>(jobs.size());
-  im.results = std::vector<Solution>(jobs.size());
-  im.errors.assign(jobs.size(), nullptr);
+  im.batch = std::vector<Impl::Slot>(jobs.size());
   im.ready.clear();
-  for (std::size_t i = 0; i < jobs.size(); ++i) im.ready.push_back(i);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    im.batch[i].job = jobs[i];
+    im.ready.push_back(&im.batch[i]);
+  }
   im.unfinished = jobs.size();
+  im.closed = true;
 
   im.pool.run([&im](unsigned) { im.work(); });
 
-  im.jobs = {};
-  im.states.clear();
-  for (std::exception_ptr& err : im.errors) {
-    if (err) std::rethrow_exception(err);
+  std::vector<Solution> results;
+  results.reserve(jobs.size());
+  std::exception_ptr first_error;
+  for (Impl::Slot& s : im.batch) {
+    if (s.error && !first_error) first_error = s.error;
+    results.push_back(std::move(s.result));
   }
-  im.errors.clear();
-  return std::move(im.results);
+  im.batch.clear();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+void BatchScheduler::start_service() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.service_on) {
+      throw std::logic_error("BatchScheduler: service already active");
+    }
+    im.service_on = true;
+    im.closed = false;
+    im.unfinished = 0;
+    im.ready.clear();
+  }
+  // The driver parks in pool.run() — every pool worker (driver included)
+  // loops in work() until stop_service() closes the queue.
+  im.driver = std::thread([&im] { im.pool.run([&im](unsigned) { im.work(); }); });
+}
+
+void BatchScheduler::submit(BatchJob job) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (!im.service_on || im.closed) {
+    throw std::logic_error("BatchScheduler: submit outside service mode");
+  }
+  im.service_slots.push_back(Impl::Slot{});
+  Impl::Slot& s = im.service_slots.back();
+  s.job = std::move(job);
+  s.self = std::prev(im.service_slots.end());
+  s.service = true;
+  im.ready.push_back(&s);
+  ++im.unfinished;
+  im.cv.notify_one();
+}
+
+void BatchScheduler::stop_service() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.service_on) return;
+    im.closed = true;
+    im.cv.notify_all();
+  }
+  im.driver.join();  // returns once every in-flight job delivered
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.service_on = false;
+}
+
+bool BatchScheduler::service_active() const noexcept {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.service_on;
+}
+
+std::size_t BatchScheduler::in_flight() const {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.service_on ? im.unfinished : 0;
 }
 
 std::vector<Solution> solve_batch(std::span<const BatchJob> jobs,

@@ -29,7 +29,10 @@
 // runnable run with the fewest live agents, draining nearly-finished
 // runs first (lower mean job latency, same results).
 
+#include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -47,11 +50,28 @@ namespace hypercover::api {
 
 /// One solve job: an instance, a registry algorithm name, and the full
 /// per-job request (common knobs, per-algorithm options, RunControl,
-/// certify flag). The graph must outlive the solve_all() call.
+/// certify flag). The graph must outlive the job's completion — the end
+/// of solve_all() for a batch job, the completion callback for a
+/// submitted one.
 struct BatchJob {
   const hg::Hypergraph* graph = nullptr;
   std::string algorithm = "mwhvc";
   SolveRequest request;
+  /// Fires exactly once, when the job's final slice finishes, on the
+  /// worker thread that drove that slice (the calling thread for
+  /// single-job batches and sequential solvers) — so a caller can
+  /// observe per-job completion without joining the whole batch. The
+  /// reference is mutable so a service-mode callback can MOVE the
+  /// Solution out (the scheduler discards it right after the call); a
+  /// solve_all() job that moves forfeits its entry in the returned
+  /// vector, so batch callers should only read.
+  std::function<void(Solution&)> on_complete;
+  /// Fires instead of on_complete when the job throws, on the same
+  /// thread. In solve_all() the first error (in job order) is STILL
+  /// rethrown after the batch drains, exactly as before; in service mode
+  /// this callback is the only delivery channel (an error on a job
+  /// without one is dropped).
+  std::function<void(std::exception_ptr)> on_error;
 };
 
 /// Which runnable run a freed worker picks next. Results are identical
@@ -75,7 +95,8 @@ struct BatchOptions {
 /// Runs batches of solve jobs on one shared worker pool. The pool is
 /// built once at construction and reused across solve_all() calls, so a
 /// serving loop pays the thread-spawn cost only at startup. Not
-/// thread-safe: one solve_all() at a time.
+/// thread-safe: one solve_all() at a time — except service mode, whose
+/// submit() is safe from any thread.
 class BatchScheduler {
  public:
   explicit BatchScheduler(const BatchOptions& opts = {});
@@ -93,6 +114,40 @@ class BatchScheduler {
   /// The first failing job's exception (in job order) is rethrown after
   /// every other job has finished.
   [[nodiscard]] std::vector<Solution> solve_all(std::span<const BatchJob> jobs);
+
+  // --- streaming service mode --------------------------------------------
+  //
+  // The serving path (server::SolveServer) cannot batch up front: requests
+  // arrive one at a time and must start solving immediately while earlier
+  // ones are still in flight. start_service() parks the pool's workers in
+  // the same pick/slice/requeue loop solve_all() uses, but fed by
+  // submit() instead of a fixed job list — so concurrently submitted jobs
+  // interleave exactly like the jobs of one batch (same quantum, same
+  // policy, same bit-identical Solutions). Completion is delivered
+  // per job through BatchJob::on_complete / on_error, on the worker that
+  // drove the final slice.
+
+  /// Enters service mode: workers block on the (initially empty) queue
+  /// until stop_service(). Throws std::logic_error if already active.
+  /// solve_all() must not be called while the service is active.
+  void start_service();
+
+  /// Enqueues one job (thread-safe). The job starts as soon as a worker
+  /// frees up; jobs always step with a sequential engine — parallelism is
+  /// across in-flight jobs. Throws std::logic_error outside service mode.
+  void submit(BatchJob job);
+
+  /// Drains — no further submits are accepted, every in-flight job runs
+  /// to completion and delivers its callback — then returns the workers.
+  /// Idempotent; the scheduler is reusable (solve_all or a fresh
+  /// start_service) afterwards.
+  void stop_service();
+
+  [[nodiscard]] bool service_active() const noexcept;
+
+  /// Jobs submitted but not yet completed (service mode bookkeeping;
+  /// 0 outside service mode).
+  [[nodiscard]] std::size_t in_flight() const;
 
   /// The shared worker pool (lent to single-job engines; see above).
   [[nodiscard]] congest::ThreadPool& pool() noexcept;

@@ -125,8 +125,7 @@ struct alignas(64) ShardScratch {
 };
 
 inline std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) noexcept {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
+  return util::mix64(h, v);
 }
 
 }  // namespace detail

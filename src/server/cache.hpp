@@ -1,0 +1,90 @@
+#pragma once
+// Digest-keyed LRU result cache for the solve service.
+//
+// Key: util::solve_digest(graph, algorithm, request) — the one function
+// the server, the CLI, and the tests share, covering the instance and
+// every result-affecting knob. Value: the full api::Solution the
+// scheduler produced, behind shared_ptr so a hit can be serialized while
+// the entry is concurrently evicted. Because a scheduled Solution is
+// bit-identical to a solo solve (the PR 4 guarantee), a cache hit is
+// bit-identical to a fresh solve by construction — the server never
+// stores anything a fresh run would not reproduce.
+//
+// Two clients missing on the same key concurrently both solve and both
+// insert; the entries are bit-identical, so the race is benign (the
+// second insert just refreshes recency). Thread-safe; O(1) per op.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "api/solution.hpp"
+
+namespace hypercover::server {
+
+class ResultCache {
+ public:
+  /// capacity == 0 disables the cache (find always misses, insert drops).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached Solution and refreshes its recency, or nullptr.
+  [[nodiscard]] std::shared_ptr<const api::Solution> find(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    ++hits_;
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) the entry, evicting the least recently used
+  /// entry when full.
+  void insert(std::uint64_t key, std::shared_ptr<const api::Solution> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const api::Solution>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace hypercover::server

@@ -1,0 +1,92 @@
+#include "server/client.hpp"
+
+#include <sstream>
+
+namespace hypercover::server {
+
+namespace {
+
+std::string busy_message(const BusyInfo& info) {
+  std::ostringstream os;
+  os << "server busy: " << info.in_flight << "/" << info.max_inflight
+     << " jobs in flight, " << info.queued_bytes << "/"
+     << info.max_queued_bytes << " queued bytes";
+  return os.str();
+}
+
+}  // namespace
+
+BusyError::BusyError(const BusyInfo& busy)
+    : std::runtime_error(busy_message(busy)), info(busy) {}
+
+Frame Client::round_trip(FrameTag request,
+                         const std::vector<std::uint8_t>& payload,
+                         FrameTag expected_reply) {
+  write_frame(sock_, request, payload);
+  Frame reply;
+  if (!read_frame(sock_, reply)) {
+    throw ProtocolError("server closed the connection instead of replying");
+  }
+  if (reply.tag == expected_reply) return reply;
+  PayloadReader r(reply.payload);
+  if (reply.tag == FrameTag::kBusy) throw BusyError(decode_busy(r));
+  if (reply.tag == FrameTag::kError) throw RemoteError(r.str());
+  throw ProtocolError("unexpected reply tag " +
+                      std::to_string(static_cast<unsigned>(reply.tag)));
+}
+
+void Client::connect(const std::string& address) {
+  sock_ = connect_to(address);
+  PayloadWriter w;
+  w.u32(kProtocolVersion);
+  const Frame reply = round_trip(FrameTag::kHello, w.take(), FrameTag::kHelloOk);
+  PayloadReader r(reply.payload);
+  const std::uint32_t version = r.u32();
+  if (version != kProtocolVersion) {
+    throw RemoteError("server speaks protocol version " +
+                      std::to_string(version) + ", client speaks " +
+                      std::to_string(kProtocolVersion));
+  }
+}
+
+GraphInfo Client::submit_graph(std::uint8_t kind, std::string_view bytes) {
+  PayloadWriter w;
+  w.u8(kind);
+  w.str(bytes);
+  const Frame reply =
+      round_trip(FrameTag::kSubmitGraph, w.take(), FrameTag::kGraphOk);
+  PayloadReader r(reply.payload);
+  GraphInfo info;
+  info.digest = r.u64();
+  info.vertices = r.u32();
+  info.edges = r.u32();
+  return info;
+}
+
+GraphInfo Client::submit_graph_text(std::string_view text) {
+  return submit_graph(0, text);  // inline text
+}
+
+GraphInfo Client::submit_graph_path(const std::string& path) {
+  return submit_graph(1, path);  // path-by-reference
+}
+
+WireResult Client::solve(std::string_view algorithm, const SolveKnobs& knobs) {
+  PayloadWriter w;
+  encode_solve(w, algorithm, knobs);
+  const Frame reply = round_trip(FrameTag::kSolve, w.take(), FrameTag::kResult);
+  PayloadReader r(reply.payload);
+  return decode_result(r);
+}
+
+ServerStats Client::stats() {
+  const Frame reply = round_trip(FrameTag::kStats, {}, FrameTag::kStatsReply);
+  PayloadReader r(reply.payload);
+  return decode_stats(r);
+}
+
+void Client::shutdown_server() {
+  (void)round_trip(FrameTag::kShutdown, {}, FrameTag::kShutdownOk);
+}
+
+}  // namespace hypercover::server

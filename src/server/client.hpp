@@ -1,0 +1,87 @@
+#pragma once
+// server::Client — the blocking client of the solve service.
+//
+// One reusable connection speaking the wire.hpp frame protocol:
+// connect() performs the Hello handshake, then any number of
+// submit_graph_*() / solve() round trips reuse the socket — the whole
+// point of the serving path is that a stream of solves pays connection
+// and process startup once, not per request.
+//
+// Error model: overload comes back as BusyError (typed, carries the
+// server's load so callers can back off), a server-side failure as
+// RemoteError (the Error frame's message), a malformed reply as
+// ProtocolError, and a dead socket as SocketError. The client never
+// hangs on a well-behaved server: every request has exactly one reply.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/socket.hpp"
+#include "server/wire.hpp"
+
+namespace hypercover::server {
+
+/// The server answered Busy: admission control rejected the request.
+class BusyError : public std::runtime_error {
+ public:
+  explicit BusyError(const BusyInfo& info);
+  BusyInfo info;
+};
+
+/// The server answered Error (bad graph, unknown algorithm, failed
+/// solve, protocol misuse).
+class RemoteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Reply to a SubmitGraph frame.
+struct GraphInfo {
+  std::uint64_t digest = 0;
+  std::uint32_t vertices = 0;
+  std::uint32_t edges = 0;
+};
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects and performs the Hello handshake. Throws SocketError if
+  /// the server is unreachable, RemoteError on a version mismatch.
+  void connect(const std::string& address);
+
+  [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
+
+  /// Sends the instance in hypergraph/io.hpp text form; the server
+  /// parses it and keys this connection's subsequent solves against it.
+  GraphInfo submit_graph_text(std::string_view text);
+
+  /// Path-by-reference: the SERVER opens this path (useful when client
+  /// and server share a filesystem — the instance bytes skip the socket).
+  GraphInfo submit_graph_path(const std::string& path);
+
+  /// Solves the connection's current graph. The returned WireResult
+  /// carries the full cover and duals for local re-verification.
+  WireResult solve(std::string_view algorithm, const SolveKnobs& knobs = {});
+
+  ServerStats stats();
+
+  /// Asks the server to drain and exit; returns once ShutdownOk arrives.
+  void shutdown_server();
+
+  void close() noexcept { sock_.close(); }
+
+ private:
+  /// One request/response exchange; throws on Busy/Error replies and
+  /// verifies the reply tag.
+  Frame round_trip(FrameTag request, const std::vector<std::uint8_t>& payload,
+                   FrameTag expected_reply);
+
+  /// Shared body of the two submit_graph_* forms (kind byte + bytes).
+  GraphInfo submit_graph(std::uint8_t kind, std::string_view bytes);
+
+  Socket sock_;
+};
+
+}  // namespace hypercover::server

@@ -1,0 +1,442 @@
+#include "server/server.hpp"
+
+#include <atomic>
+#include <exception>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/registry.hpp"
+#include "congest/thread_pool.hpp"
+#include "hypergraph/io.hpp"
+#include "server/cache.hpp"
+#include "server/socket.hpp"
+#include "util/digest.hpp"
+
+namespace hypercover::server {
+
+namespace {
+
+/// Graph kinds on a SubmitGraph frame.
+constexpr std::uint8_t kGraphInlineText = 0;
+constexpr std::uint8_t kGraphByPath = 1;
+
+}  // namespace
+
+struct SolveServer::Impl {
+  explicit Impl(const ServerOptions& options)
+      : opts(options),
+        cache(options.cache_entries),
+        scheduler(api::BatchOptions{.threads = options.threads,
+                                    .policy = api::BatchPolicy::kRoundRobin,
+                                    .round_quantum = options.round_quantum}) {}
+
+  ServerOptions opts;
+  ResultCache cache;
+  api::BatchScheduler scheduler;
+  Listener listener;
+  bool started = false;
+
+  std::atomic<bool> stopping{false};
+
+  // Serving counters (wire.hpp ServerStats).
+  std::atomic<std::uint64_t> connections{0}, requests{0}, solves{0},
+      busy_rejections{0}, protocol_errors{0};
+  // Admission state: dispatched-but-unfinished jobs and the graph bytes
+  // they hold. Updated with a mutex (two quantities must move together
+  // and be compared against two limits atomically).
+  std::mutex admission_mu;
+  std::uint64_t inflight = 0;
+  std::uint64_t queued_bytes = 0;
+
+  /// One handler thread per connection, reaped opportunistically by the
+  /// accept loop and joined at drain.
+  struct Conn {
+    std::thread thread;
+    Socket* sock = nullptr;  // valid while the handler runs (guarded by mu)
+    std::atomic<bool> done{false};
+  };
+  std::mutex conns_mu;
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  // --- admission -----------------------------------------------------------
+
+  /// Tries to admit a solve holding `graph_bytes` of instance text:
+  /// reserves the capacity and returns true, or false on overload (the
+  /// caller answers with send_busy()).
+  bool admit(std::uint64_t graph_bytes) {
+    std::lock_guard<std::mutex> lock(admission_mu);
+    if (inflight >= opts.max_inflight ||
+        queued_bytes + graph_bytes > opts.max_queued_bytes) {
+      return false;
+    }
+    ++inflight;
+    queued_bytes += graph_bytes;
+    return true;
+  }
+
+  void release(std::uint64_t graph_bytes) {
+    std::lock_guard<std::mutex> lock(admission_mu);
+    --inflight;
+    queued_bytes -= graph_bytes;
+  }
+
+  ServerStats snapshot() {
+    ServerStats s;
+    s.connections = connections.load(std::memory_order_relaxed);
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.solves = solves.load(std::memory_order_relaxed);
+    s.cache_hits = cache.hits();
+    s.cache_misses = cache.misses();
+    s.busy_rejections = busy_rejections.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(admission_mu);
+      s.in_flight = inflight;
+      s.queued_bytes = queued_bytes;
+    }
+    s.cache_entries = cache.size();
+    s.pool_threads = scheduler.pool().size();
+    s.max_inflight = opts.max_inflight;
+    return s;
+  }
+
+  // --- per-connection protocol ---------------------------------------------
+
+  /// The graph a connection most recently submitted, kept until replaced.
+  struct ConnGraph {
+    std::shared_ptr<const hg::Hypergraph> graph;
+    std::uint64_t digest = 0;
+    std::uint64_t text_bytes = 0;  // admission weight of this instance
+  };
+
+  void send_error(Socket& sock, const std::string& message) {
+    PayloadWriter w;
+    w.str(message);
+    write_frame(sock, FrameTag::kError, w.take());
+  }
+
+  /// Answers a typed Busy frame from the current load and counts the
+  /// rejection — the one overload reply path for both admission limits.
+  void send_busy(Socket& sock) {
+    BusyInfo busy;
+    {
+      std::lock_guard<std::mutex> lock(admission_mu);
+      busy.in_flight = inflight;
+      busy.queued_bytes = queued_bytes;
+    }
+    busy.max_inflight = opts.max_inflight;
+    busy.max_queued_bytes = opts.max_queued_bytes;
+    busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    PayloadWriter w;
+    encode_busy(w, busy);
+    write_frame(sock, FrameTag::kBusy, w.take());
+  }
+
+  void handle_submit_graph(Socket& sock, PayloadReader& r, ConnGraph& state) {
+    const std::uint8_t kind = r.u8();
+    std::string text;
+    if (kind == kGraphInlineText) {
+      text = r.str();
+    } else if (kind == kGraphByPath) {
+      const std::string path = r.str();
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        send_error(sock, "cannot open graph file: " + path);
+        return;
+      }
+      // Bounded slurp: inline mode is capped by the frame length, so the
+      // by-path mode must not let a huge (or endless: /dev/zero) file
+      // balloon the handler. One byte past the budget is enough to make
+      // the admission check below reject it.
+      char buf[64 * 1024];
+      while (text.size() <= opts.max_queued_bytes &&
+             (in.read(buf, sizeof(buf)), in.gcount() > 0)) {
+        text.append(buf, static_cast<std::size_t>(in.gcount()));
+      }
+    } else {
+      send_error(sock, "unknown SubmitGraph kind " + std::to_string(kind));
+      return;
+    }
+    if (text.size() > opts.max_queued_bytes) {
+      // An instance that alone exceeds the queue budget can never be
+      // admitted; say Busy now instead of at every Solve.
+      send_busy(sock);
+      return;
+    }
+    hg::Hypergraph parsed;
+    try {
+      parsed = hg::from_text(text);
+    } catch (const std::exception& ex) {
+      send_error(sock, std::string("bad graph: ") + ex.what());
+      return;
+    }
+    state.graph = std::make_shared<const hg::Hypergraph>(std::move(parsed));
+    state.digest = util::graph_digest(*state.graph);
+    state.text_bytes = text.size();
+    PayloadWriter w;
+    w.u64(state.digest);
+    w.u32(state.graph->num_vertices());
+    w.u32(state.graph->num_edges());
+    write_frame(sock, FrameTag::kGraphOk, w.take());
+  }
+
+  void handle_solve(Socket& sock, PayloadReader& r, const ConnGraph& state) {
+    std::string algorithm;
+    SolveKnobs knobs;
+    decode_solve(r, algorithm, knobs);
+    if (state.graph == nullptr) {
+      send_error(sock, "Solve before SubmitGraph");
+      return;
+    }
+    if (api::find_solver(algorithm) == nullptr) {
+      send_error(sock, "unknown algorithm \"" + algorithm + "\"");
+      return;
+    }
+    const api::SolveRequest req = to_request(knobs);
+    const std::uint64_t key = util::solve_digest(state.digest, algorithm, req);
+
+    if (std::shared_ptr<const api::Solution> hit = cache.find(key)) {
+      PayloadWriter w;
+      encode_result(w, *hit, /*cache_hit=*/true, key);
+      // Count before replying: a client that has its Result in hand must
+      // already see it in the Stats counters.
+      solves.fetch_add(1, std::memory_order_relaxed);
+      write_frame(sock, FrameTag::kResult, w.take());
+      return;
+    }
+
+    if (!admit(state.text_bytes)) {
+      send_busy(sock);
+      return;
+    }
+
+    // Dispatch on the shared scheduler and block this handler until the
+    // job's final slice delivers. The connection's shared_ptr keeps the
+    // graph alive for the whole wait, so the raw BatchJob pointer is safe.
+    auto promise = std::make_shared<std::promise<api::Solution>>();
+    std::future<api::Solution> future = promise->get_future();
+    api::BatchJob job;
+    job.graph = state.graph.get();
+    job.algorithm = algorithm;
+    job.request = req;
+    job.on_complete = [promise](api::Solution& sol) {
+      promise->set_value(std::move(sol));  // the scheduler discards the slot
+    };
+    job.on_error = [promise](std::exception_ptr err) {
+      promise->set_exception(err);
+    };
+    api::Solution sol;
+    try {
+      scheduler.submit(std::move(job));
+      sol = future.get();  // rethrows the job's exception
+    } catch (const std::exception& ex) {
+      release(state.text_bytes);
+      send_error(sock, std::string("solve failed: ") + ex.what());
+      return;
+    }
+    release(state.text_bytes);
+    auto shared = std::make_shared<const api::Solution>(std::move(sol));
+    cache.insert(key, shared);
+    PayloadWriter w;
+    encode_result(w, *shared, /*cache_hit=*/false, key);
+    solves.fetch_add(1, std::memory_order_relaxed);
+    write_frame(sock, FrameTag::kResult, w.take());
+  }
+
+  /// Runs one connection's request/response loop. Returns when the peer
+  /// closes, a protocol violation is detected, or the server drains.
+  void handle_connection(Socket& sock) {
+    ConnGraph state;
+    bool greeted = false;
+    Frame frame;
+    try {
+      while (read_frame(sock, frame, opts.max_frame_bytes)) {
+        requests.fetch_add(1, std::memory_order_relaxed);
+        PayloadReader r(frame.payload);
+        if (!greeted && frame.tag != FrameTag::kHello) {
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          send_error(sock, "first frame must be Hello");
+          return;
+        }
+        switch (frame.tag) {
+          case FrameTag::kHello: {
+            const std::uint32_t version = r.u32();
+            if (version != kProtocolVersion) {
+              protocol_errors.fetch_add(1, std::memory_order_relaxed);
+              send_error(sock, "protocol version " + std::to_string(version) +
+                                   " unsupported (server speaks " +
+                                   std::to_string(kProtocolVersion) + ")");
+              return;
+            }
+            greeted = true;
+            PayloadWriter w;
+            w.u32(kProtocolVersion);
+            w.u32(static_cast<std::uint32_t>(api::solvers().size()));
+            write_frame(sock, FrameTag::kHelloOk, w.take());
+            break;
+          }
+          case FrameTag::kSubmitGraph:
+            handle_submit_graph(sock, r, state);
+            break;
+          case FrameTag::kSolve:
+            handle_solve(sock, r, state);
+            break;
+          case FrameTag::kStats: {
+            PayloadWriter w;
+            encode_stats(w, snapshot());
+            write_frame(sock, FrameTag::kStatsReply, w.take());
+            break;
+          }
+          case FrameTag::kShutdown:
+            write_frame(sock, FrameTag::kShutdownOk);
+            request_stop();
+            return;
+          default:
+            protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            send_error(sock, "unknown frame tag " +
+                                 std::to_string(static_cast<unsigned>(
+                                     frame.tag)));
+            return;  // desynchronized — drop the connection
+        }
+        if (stopping.load(std::memory_order_acquire)) return;  // draining
+      }
+    } catch (const ProtocolError&) {
+      // Truncated/oversized frame: count it, drop the connection, and
+      // keep serving everyone else. No reply — the stream is unusable.
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    } catch (const SocketError&) {
+      // Peer vanished mid-reply; nothing to report to.
+    } catch (...) {
+      // Anything else (bad_alloc under pressure, a surprise from a
+      // handler) must cost this connection, never the daemon: an
+      // exception escaping the handler thread would std::terminate.
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void request_stop() noexcept {
+    stopping.store(true, std::memory_order_release);
+    listener.wake();
+  }
+
+  void serve() {
+    // Whatever happens in the accept loop — fd exhaustion in accept(),
+    // thread-spawn failure — the drain below must still run, or
+    // destroying joinable handler threads would std::terminate the
+    // daemon with solves in flight.
+    try {
+      while (!stopping.load(std::memory_order_acquire)) {
+        Socket sock = listener.accept();
+        if (!sock.valid()) break;  // woken for shutdown
+        connections.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_unique<Conn>();
+        Conn* raw = conn.get();
+        {
+          std::lock_guard<std::mutex> lock(conns_mu);
+          conns.push_back(std::move(conn));
+        }
+        raw->thread = std::thread([this, raw, s = std::move(sock)]() mutable {
+          {
+            std::lock_guard<std::mutex> lock(conns_mu);
+            raw->sock = &s;
+          }
+          // Registration must precede this check: a drain that started
+          // before it could not knock this socket, so knock ourselves.
+          if (!stopping.load(std::memory_order_acquire)) {
+            handle_connection(s);
+          }
+          {
+            std::lock_guard<std::mutex> lock(conns_mu);
+            raw->sock = nullptr;
+          }
+          raw->done.store(true, std::memory_order_release);
+        });
+        reap_finished();
+      }
+    } catch (...) {
+      stopping.store(true, std::memory_order_release);
+      drain();
+      throw;
+    }
+    drain();
+  }
+
+  /// Joins and discards handler threads that already finished, so a
+  /// long-lived daemon's thread list tracks live connections, not
+  /// historical ones.
+  void reap_finished() {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    std::erase_if(conns, [](const std::unique_ptr<Conn>& c) {
+      if (!c->done.load(std::memory_order_acquire)) return false;
+      c->thread.join();
+      return true;
+    });
+  }
+
+  /// Graceful drain: knock idle connections loose (EOF on their next
+  /// read; in-flight solves finish and deliver first), join every
+  /// handler, then drain the scheduler.
+  void drain() {
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (const std::unique_ptr<Conn>& c : conns) {
+        if (c->sock != nullptr) c->sock->shutdown_read();
+      }
+    }
+    for (;;) {
+      std::unique_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        if (conns.empty()) break;
+        conn = std::move(conns.back());
+        conns.pop_back();
+      }
+      // A Conn whose std::thread constructor threw never became
+      // joinable; joining it would itself throw.
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    scheduler.stop_service();
+  }
+};
+
+SolveServer::SolveServer(const ServerOptions& opts)
+    : impl_(std::make_unique<Impl>(opts)) {}
+
+SolveServer::~SolveServer() {
+  // A server destroyed mid-serve() is a caller bug; destroying one that
+  // never started (or already drained) must still stop the scheduler.
+  impl_->scheduler.stop_service();
+}
+
+void SolveServer::start() {
+  if (impl_->started) throw std::logic_error("SolveServer: started twice");
+  impl_->listener = Listener::open(impl_->opts.listen);
+  impl_->scheduler.start_service();
+  impl_->started = true;
+}
+
+void SolveServer::serve() {
+  if (!impl_->started) throw std::logic_error("SolveServer: serve before start");
+  impl_->serve();
+}
+
+void SolveServer::request_stop() noexcept { impl_->request_stop(); }
+
+const std::string& SolveServer::address() const noexcept {
+  return impl_->listener.address();
+}
+
+const ServerOptions& SolveServer::options() const noexcept {
+  return impl_->opts;
+}
+
+ServerStats SolveServer::stats() const { return impl_->snapshot(); }
+
+}  // namespace hypercover::server

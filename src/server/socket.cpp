@@ -1,0 +1,271 @@
+#include "server/socket.hpp"
+
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace hypercover::server {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+/// Splits "unix:<path>" from "<host>:<port>". Throws on bad syntax.
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path_or_host;
+  std::string port;
+};
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress out;
+  if (address.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path_or_host = address.substr(5);
+    if (out.path_or_host.empty()) {
+      throw SocketError("empty unix socket path in \"" + address + "\"");
+    }
+    return out;
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    throw SocketError("address \"" + address +
+                      "\" is neither unix:<path> nor <host>:<port>");
+  }
+  out.path_or_host = address.substr(0, colon);
+  out.port = address.substr(colon + 1);
+  return out;
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path too long (" +
+                      std::to_string(path.size()) + " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// --- Socket ---------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close between messages
+      throw SocketEof("connection closed mid-message (got " +
+                      std::to_string(got) + " of " + std::to_string(size) +
+                      " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- Listener -------------------------------------------------------------
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      wake_read_(std::exchange(other.wake_read_, -1)),
+      wake_write_(std::exchange(other.wake_write_, -1)),
+      address_(std::move(other.address_)),
+      unlink_path_(std::move(other.unlink_path_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    this->~Listener();
+    new (this) Listener(std::move(other));
+  }
+  return *this;
+}
+
+Listener Listener::open(const std::string& address) {
+  const ParsedAddress parsed = parse_address(address);
+  Listener lis;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw_errno("pipe");
+  lis.wake_read_ = pipe_fds[0];
+  lis.wake_write_ = pipe_fds[1];
+
+  if (parsed.is_unix) {
+    lis.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (lis.fd_ < 0) throw_errno("socket");
+    const sockaddr_un addr = unix_sockaddr(parsed.path_or_host);
+    ::unlink(parsed.path_or_host.c_str());  // stale socket from a dead server
+    if (::bind(lis.fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw_errno("bind " + address);
+    }
+    lis.unlink_path_ = parsed.path_or_host;
+    lis.address_ = address;
+  } else {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(parsed.path_or_host.c_str(),
+                                 parsed.port.c_str(), &hints, &res);
+    if (rc != 0) {
+      throw SocketError("getaddrinfo " + address + ": " + gai_strerror(rc));
+    }
+    lis.fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (lis.fd_ < 0) {
+      ::freeaddrinfo(res);
+      throw_errno("socket");
+    }
+    const int one = 1;
+    ::setsockopt(lis.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const int bind_rc = ::bind(lis.fd_, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (bind_rc != 0) throw_errno("bind " + address);
+    // Report the actual port (resolves a requested port of 0).
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(lis.fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      throw_errno("getsockname");
+    }
+    char host[NI_MAXHOST], port[NI_MAXSERV];
+    if (::getnameinfo(reinterpret_cast<sockaddr*>(&bound), len, host,
+                      sizeof(host), port, sizeof(port),
+                      NI_NUMERICHOST | NI_NUMERICSERV) != 0) {
+      throw SocketError("getnameinfo failed for " + address);
+    }
+    lis.address_ = parsed.path_or_host + ":" + port;
+  }
+  if (::listen(lis.fd_, 64) != 0) throw_errno("listen " + address);
+  return lis;
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (fds[1].revents != 0) return Socket();  // woken for shutdown
+    if (fds[0].revents == 0) continue;
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return Socket(conn);
+  }
+}
+
+void Listener::wake() noexcept {
+  if (wake_write_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+Socket connect_to(const std::string& address) {
+  const ParsedAddress parsed = parse_address(address);
+  if (parsed.is_unix) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) throw_errno("socket");
+    const sockaddr_un addr = unix_sockaddr(parsed.path_or_host);
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      throw_errno("connect " + address);
+    }
+    return sock;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(parsed.path_or_host.c_str(),
+                               parsed.port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw SocketError("getaddrinfo " + address + ": " + gai_strerror(rc));
+  }
+  int last_errno = 0;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return sock;
+    }
+    last_errno = errno;
+  }
+  ::freeaddrinfo(res);
+  errno = last_errno;
+  throw_errno("connect " + address);
+}
+
+}  // namespace hypercover::server

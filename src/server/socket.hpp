@@ -1,0 +1,107 @@
+#pragma once
+// Thin RAII layer over POSIX stream sockets for the solve service.
+//
+// Two address families behind one textual address syntax:
+//   "unix:<path>"      — Unix-domain socket (the default for local
+//                        serving: no ports, file-permission access control)
+//   "<host>:<port>"    — TCP (port 0 picks an ephemeral port; the bound
+//                        Listener reports the resolved address)
+//
+// Everything blocking, everything throwing server::SocketError on OS
+// failure — the framing layer (wire.hpp) distinguishes clean EOF from
+// mid-frame truncation on top of these primitives.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace hypercover::server {
+
+/// OS-level socket failure (connect refused, send on closed peer, ...).
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The peer closed the stream in the middle of an expected byte range —
+/// distinguishable from other socket failures because the framing layer
+/// treats it as a protocol violation (truncated frame), not an OS error.
+class SocketEof : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// A connected stream socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Writes the whole buffer (looping over partial sends; SIGPIPE
+  /// suppressed). Throws SocketError if the peer is gone.
+  void send_all(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false on EOF *before the first
+  /// byte* (a clean close between messages); throws SocketError on EOF
+  /// mid-buffer or any OS error. size == 0 returns true.
+  [[nodiscard]] bool recv_all(void* data, std::size_t size);
+
+  /// Half-closes the read side: a peer blocked reading sees EOF; our own
+  /// pending reads return. The graceful-drain knock on live connections.
+  void shutdown_read() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening socket. Move-only; closes (and unlinks its
+/// Unix-socket path) on destruction.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on the given textual address (syntax above). A
+  /// stale Unix-socket file from a dead server is unlinked first. Throws
+  /// SocketError on failure (address in use, bad syntax, ...).
+  [[nodiscard]] static Listener open(const std::string& address);
+
+  /// Accepts one connection; blocks until a client arrives or wake() is
+  /// called. Returns an invalid Socket on wake (the shutdown signal).
+  [[nodiscard]] Socket accept();
+
+  /// Releases a blocked (or the next) accept() with an invalid Socket.
+  /// Async-signal-safe (one write to a pipe), callable from any thread.
+  void wake() noexcept;
+
+  /// The bound address in the same textual syntax — with a TCP port of 0
+  /// resolved to the actual ephemeral port, so callers can connect back.
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+
+ private:
+  int fd_ = -1;
+  int wake_read_ = -1, wake_write_ = -1;  // self-pipe
+  std::string address_;
+  std::string unlink_path_;  // non-empty for Unix sockets
+};
+
+/// Client side: connects to an address in the syntax above.
+[[nodiscard]] Socket connect_to(const std::string& address);
+
+}  // namespace hypercover::server

@@ -38,6 +38,16 @@ namespace hypercover::util {
   return r;
 }
 
+/// One mixing step of the 64-bit sequence hash used for engine
+/// transcripts and the public instance/solve digests (util/digest.hpp):
+/// folds `v` into the running hash `h`. Order-sensitive by design — a
+/// transcript and a graph are both sequences.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t h,
+                                            std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
 /// True if |a - b| <= tol * max(1, |a|, |b|).
 [[nodiscard]] inline bool approx_equal(double a, double b,
                                        double tol = 1e-9) noexcept {
