@@ -5,11 +5,21 @@
 //   ./hypercover_cli --input=instance.hg [--algo=<name>] [--list-algos]
 //       [--eps=0.5] [--appendix-c] [--alpha=<fixed>] [--threads=1]
 //       [--dense] [--f-approx] [--max-rounds=N] [--quiet] [--cover-only]
-//       [--stats-json[=path]]
+//       [--stats-json[=path]] [--binary]
+//   ./hypercover_cli --input=instance.hg --convert=instance.hgb
 //   ./hypercover_cli --batch=manifest.txt [--threads=N] [--algo=<default>]
 //       [--batch-policy=rr|live] [--batch-quantum=32] [common knobs]
 //   ./hypercover_cli --connect=<unix:/path | host:port> [solve flags]
-//       [--shutdown] [--server-stats]
+//       [--binary] [--shutdown] [--server-stats]
+//
+// --convert=<out.hgb> writes the instance in the `hgb` binary format
+// (hypergraph/binary.hpp) and exits — the offline converter for the
+// zero-copy serving path. --binary declares the --input to be an .hgb
+// file: local solves mmap and adopt it without parsing; --connect solves
+// ship it with SubmitGraphBinary (by-path when the input is a real file,
+// so a server sharing the filesystem mmaps it zero-copy; inline bytes
+// from stdin). Without --binary the input is sniffed: a file that starts
+// with the hgb magic is loaded as binary anyway.
 //
 // --connect=<addr> routes an ordinary single solve through a running
 // hypercover_served daemon instead of solving in-process: the instance
@@ -56,9 +66,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -66,6 +79,7 @@
 #include "api/registry.hpp"
 #include "congest/thread_pool.hpp"
 #include "core/mwhvc.hpp"
+#include "hypergraph/binary.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
 #include "server/client.hpp"
@@ -281,6 +295,15 @@ int read_input_text(const util::Cli& cli, std::string& text) {
   return 0;
 }
 
+/// Does the file at `path` start with the hgb magic? (Missing/short
+/// files sniff as "no" — the real open reports the error properly.)
+bool file_is_hgb(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::uint8_t head[8] = {};
+  in.read(reinterpret_cast<char*>(head), sizeof head);
+  return in.gcount() == sizeof head && hg::looks_like_binary(head);
+}
+
 /// --connect mode: route the solve through a hypercover_served daemon,
 /// then re-verify the returned cover and duals locally.
 int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
@@ -301,6 +324,7 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
               << "solves: " << s.solves << "\n"
               << "cache_hits: " << s.cache_hits << "\n"
               << "cache_misses: " << s.cache_misses << "\n"
+              << "cache_evictions: " << s.cache_evictions << "\n"
               << "cache_entries: " << s.cache_entries << "\n"
               << "busy_rejections: " << s.busy_rejections << "\n"
               << "protocol_errors: " << s.protocol_errors << "\n"
@@ -312,9 +336,15 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
   }
 
   const std::string algo = cli.get("algo", std::string("mwhvc"));
-  std::string text;
-  if (const int rc = read_input_text(cli, text); rc != 0) return rc;
-  const hg::Hypergraph g = hg::from_text(text);  // local copy: verification
+  const std::string input = cli.get("input", std::string("-"));
+  std::string raw;  // instance bytes as read: text, or an hgb image
+  if (const int rc = read_input_text(cli, raw); rc != 0) return rc;
+  const std::span<const std::uint8_t> raw_bytes(
+      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+  const bool binary = cli.has("binary") || hg::looks_like_binary(raw_bytes);
+  // Local copy for re-verification, whatever the wire form.
+  const hg::Hypergraph g =
+      binary ? hg::read_binary(raw_bytes) : hg::from_text(raw);
   if (!quiet) std::cerr << "instance: " << hg::compute_stats(g) << "\n";
   if (cli.has("threads") || knobs.dense) {
     std::cerr << "note: --threads/--dense are local-engine knobs; the "
@@ -331,15 +361,36 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
     wire_knobs.alpha_fixed = knobs.req.mwhvc.alpha_fixed;
   }
 
+  server::GraphInfo ginfo;
   server::WireResult wire;
   try {
     // Busy can answer either frame: Solve on the in-flight limits, and
-    // SubmitGraph when the instance alone exceeds the byte budget.
-    client.submit_graph_text(text);
+    // a submit when the instance alone exceeds the byte budget.
+    if (binary && input != "-") {
+      // By-path: a server sharing the filesystem mmaps and adopts the
+      // .hgb in place — the instance bytes never cross the socket.
+      ginfo = client.submit_graph_binary_path(
+          std::filesystem::absolute(input).string());
+    } else if (binary) {
+      ginfo = client.submit_graph_binary(raw_bytes);
+    } else {
+      ginfo = client.submit_graph_text(raw);
+    }
     wire = client.solve(algo, wire_knobs);
   } catch (const server::BusyError& busy) {
     std::cerr << "error: " << busy.what() << "\n";
     return 3;
+  }
+
+  // The GraphOk digest is the server's view of the instance it will key
+  // every solve against; it must equal our own hash of our own parse.
+  const std::uint64_t local_graph_digest = util::graph_digest(g);
+  if (ginfo.digest != local_graph_digest) {
+    std::cerr << "warning: server graph digest 0x" << std::hex << ginfo.digest
+              << " != local 0x" << local_graph_digest << std::dec << "\n";
+  } else if (!quiet) {
+    std::cerr << "graph digest cross-check: 0x" << std::hex
+              << local_graph_digest << std::dec << " ok\n";
   }
 
   api::Solution sol;
@@ -515,18 +566,22 @@ int run(const util::Cli& cli) {
   }
   if (cli.has("batch")) return run_batch(cli, knobs);
 
-  const std::string algo = cli.get("algo", std::string("mwhvc"));
-  const api::Solver* solver = api::find_solver(algo);
-  if (solver == nullptr) {
-    std::cerr << "error: unknown --algo=" << algo << " (--list-algos prints"
-              << " the registered names)\n";
-    return 1;
-  }
-
+  const bool quiet = cli.has("quiet");
   hg::Hypergraph g;
   const std::string path = cli.get("input", std::string("-"));
   if (path == "-") {
-    g = hg::read_text(std::cin);
+    if (cli.has("binary")) {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      const std::string bytes = std::move(buf).str();
+      g = hg::read_binary(
+          {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+    } else {
+      g = hg::read_text(std::cin);
+    }
+  } else if (cli.has("binary") || file_is_hgb(path)) {
+    // The zero-copy local path: mmap + validate + adopt, no parsing.
+    g = hg::map_file(path);
   } else {
     std::ifstream in(path);
     if (!in) {
@@ -535,7 +590,30 @@ int run(const util::Cli& cli) {
     }
     g = hg::read_text(in);
   }
-  const bool quiet = cli.has("quiet");
+
+  if (cli.has("convert")) {
+    const std::string out = cli.get("convert", std::string());
+    if (out.empty() || out == "1") {
+      std::cerr << "error: --convert needs an output path "
+                   "(--convert=instance.hgb)\n";
+      return 1;
+    }
+    hg::write_binary_file(out, g);
+    if (!quiet) {
+      std::cerr << "wrote " << out << ": n=" << g.num_vertices()
+                << " m=" << g.num_edges() << " digest=0x" << std::hex
+                << util::graph_digest(g) << std::dec << "\n";
+    }
+    return 0;
+  }
+
+  const std::string algo = cli.get("algo", std::string("mwhvc"));
+  const api::Solver* solver = api::find_solver(algo);
+  if (solver == nullptr) {
+    std::cerr << "error: unknown --algo=" << algo << " (--list-algos prints"
+              << " the registered names)\n";
+    return 1;
+  }
   if (!quiet) std::cerr << "instance: " << hg::compute_stats(g) << "\n";
 
   const std::uint32_t threads = knobs.threads;

@@ -74,7 +74,8 @@ int run(const util::Cli& cli) {
   if (!cli.has("quiet")) {
     std::cerr << "hypercover_served: drained after " << stats.connections
               << " connections, " << stats.solves << " solves ("
-              << stats.cache_hits << " cache hits, " << stats.busy_rejections
+              << stats.cache_hits << " cache hits, " << stats.cache_evictions
+              << " cache evictions, " << stats.busy_rejections
               << " busy rejections, " << stats.protocol_errors
               << " protocol errors)\n";
   }

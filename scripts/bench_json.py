@@ -87,11 +87,12 @@ def summarize(raw):
             "iterations": b.get("iterations"),
         }
         for key, value in b.items():
-            if key in ("items_per_second", "active", "rounds", "threads",
-                       "tail_rounds", "items_per_round", "steps_per_round",
-                       "links", "agents_visited", "agent_steps",
-                       "slots_processed", "sparse_passes", "dense_passes",
-                       "batch", "concurrency", "p50_ms", "p99_ms"):
+            if key in ("items_per_second", "bytes_per_second", "active",
+                       "rounds", "threads", "tail_rounds", "items_per_round",
+                       "steps_per_round", "links", "agents_visited",
+                       "agent_steps", "slots_processed", "sparse_passes",
+                       "dense_passes", "batch", "concurrency", "p50_ms",
+                       "p99_ms", "n", "edges", "incidences", "bytes"):
                 point[key] = value
         points.append(point)
     return points
@@ -147,7 +148,11 @@ def main():
         "ServerThroughput benches compare the fork-per-solve CLI loop (/0) "
         "with the persistent solve server (/1, cache disabled) in requests "
         "per second at the given concurrency; the server must reach >= "
-        "1.5x at concurrency 8 on multi-core hosts (report-only on 1 CPU).")
+        "1.5x at concurrency 8 on multi-core hosts (report-only on 1 CPU). "
+        "ParseVsMap benches compare text-parse ingestion (/0) with hgb "
+        "mmap + validate + zero-copy adoption (/1), both digest-guarded; "
+        "mmap must load the largest instance >= 10x faster (report-only "
+        "on 1-CPU hosts).")
 
     context = raw.get("context", {})
     run_record = {
@@ -250,6 +255,35 @@ def main():
               f"{served['items_per_second']:.0f} req/s "
               f"({ratio:.2f}x, p99 {served.get('p99_ms', 0):.1f} ms) "
               f"{status}", file=sys.stderr)
+        ok = ok and good
+
+    # Gate: hgb mmap ingestion vs text parse, in load wall time. Names
+    # look like BM_ParseVsMapDigestGuard/120000/1/real_time; parts[1] is
+    # the instance size n, mode 0 the text parse, mode 1 the mmap +
+    # validate + adopt path. Enforced (>= 10x faster on the LARGEST
+    # instance) on multi-CPU hosts; on a 1-CPU host the ratio is just
+    # reported, consistent with the other gates.
+    loads = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "ParseVsMap" in parts[0] and len(parts) >= 3 \
+                and p.get("real_time"):
+            loads.setdefault(parts[1], {})[parts[2]] = p
+    num_cpus = run_record["host"].get("num_cpus") or 1
+    largest = max((int(n) for n in loads), default=None)
+    for n, modes in sorted(loads.items(), key=lambda kv: int(kv[0])):
+        parse, mapped = modes.get("0"), modes.get("1")
+        if parse is None or mapped is None:
+            continue
+        ratio = parse["real_time"] / max(mapped["real_time"], 1e-9)
+        enforced = int(n) == largest and num_cpus >= 2
+        good = ratio >= 10.0 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced and num_cpus < 2:
+            status += " (report-only: 1 CPU)"
+        print(f"ParseVsMap/{n}: parse {parse['real_time']:.2f} vs mmap "
+              f"{mapped['real_time']:.2f} {parse.get('time_unit', 'ms')} "
+              f"({ratio:.1f}x) {status}", file=sys.stderr)
         ok = ok and good
     return 0 if ok else 1
 

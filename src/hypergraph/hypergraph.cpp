@@ -3,8 +3,105 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace hypercover::hg {
+
+void Hypergraph::rebind() noexcept {
+  weights_ = own_weights_;
+  vertex_offsets_ = own_vertex_offsets_;
+  vertex_edges_ = own_vertex_edges_;
+  edge_offsets_ = own_edge_offsets_;
+  edge_vertices_ = own_edge_vertices_;
+  local_max_degree_ = own_local_max_degree_;
+}
+
+Hypergraph::Hypergraph(const Hypergraph& other)
+    : rank_(other.rank_),
+      max_degree_(other.max_degree_),
+      max_local_degree_(other.max_local_degree_),
+      own_weights_(other.own_weights_),
+      own_vertex_offsets_(other.own_vertex_offsets_),
+      own_vertex_edges_(other.own_vertex_edges_),
+      own_edge_offsets_(other.own_edge_offsets_),
+      own_edge_vertices_(other.own_edge_vertices_),
+      own_local_max_degree_(other.own_local_max_degree_),
+      storage_(other.storage_) {
+  if (storage_ != nullptr) {
+    // Adopted mode: the views alias the shared external buffer, which the
+    // copied storage_ handle keeps alive — copying a mapped graph shares
+    // the mapping instead of duplicating megabytes of CSR arrays.
+    weights_ = other.weights_;
+    vertex_offsets_ = other.vertex_offsets_;
+    vertex_edges_ = other.vertex_edges_;
+    edge_offsets_ = other.edge_offsets_;
+    edge_vertices_ = other.edge_vertices_;
+    local_max_degree_ = other.local_max_degree_;
+  } else {
+    rebind();
+  }
+}
+
+Hypergraph::Hypergraph(Hypergraph&& other) noexcept
+    : rank_(other.rank_),
+      max_degree_(other.max_degree_),
+      max_local_degree_(other.max_local_degree_),
+      own_weights_(std::move(other.own_weights_)),
+      own_vertex_offsets_(std::move(other.own_vertex_offsets_)),
+      own_vertex_edges_(std::move(other.own_vertex_edges_)),
+      own_edge_offsets_(std::move(other.own_edge_offsets_)),
+      own_edge_vertices_(std::move(other.own_edge_vertices_)),
+      own_local_max_degree_(std::move(other.own_local_max_degree_)),
+      storage_(std::move(other.storage_)) {
+  if (storage_ != nullptr) {
+    weights_ = other.weights_;
+    vertex_offsets_ = other.vertex_offsets_;
+    vertex_edges_ = other.vertex_edges_;
+    edge_offsets_ = other.edge_offsets_;
+    edge_vertices_ = other.edge_vertices_;
+    local_max_degree_ = other.local_max_degree_;
+  } else {
+    rebind();
+  }
+  other = Hypergraph();  // leave the source empty, not dangling
+}
+
+Hypergraph& Hypergraph::operator=(const Hypergraph& other) {
+  if (this != &other) *this = Hypergraph(other);
+  return *this;
+}
+
+Hypergraph& Hypergraph::operator=(Hypergraph&& other) noexcept {
+  if (this == &other) return *this;
+  rank_ = other.rank_;
+  max_degree_ = other.max_degree_;
+  max_local_degree_ = other.max_local_degree_;
+  own_weights_ = std::move(other.own_weights_);
+  own_vertex_offsets_ = std::move(other.own_vertex_offsets_);
+  own_vertex_edges_ = std::move(other.own_vertex_edges_);
+  own_edge_offsets_ = std::move(other.own_edge_offsets_);
+  own_edge_vertices_ = std::move(other.own_edge_vertices_);
+  own_local_max_degree_ = std::move(other.own_local_max_degree_);
+  storage_ = std::move(other.storage_);
+  if (storage_ != nullptr) {
+    weights_ = other.weights_;
+    vertex_offsets_ = other.vertex_offsets_;
+    vertex_edges_ = other.vertex_edges_;
+    edge_offsets_ = other.edge_offsets_;
+    edge_vertices_ = other.edge_vertices_;
+    local_max_degree_ = other.local_max_degree_;
+  } else {
+    rebind();
+  }
+  other.weights_ = {};
+  other.vertex_offsets_ = {};
+  other.vertex_edges_ = {};
+  other.edge_offsets_ = {};
+  other.edge_vertices_ = {};
+  other.local_max_degree_ = {};
+  other.rank_ = other.max_degree_ = other.max_local_degree_ = 0;
+  return *this;
+}
 
 Weight Hypergraph::weight_of(const std::vector<bool>& in_set) const {
   if (in_set.size() != weights_.size()) {
@@ -47,16 +144,16 @@ Hypergraph Builder::build() {
   }
 
   Hypergraph g;
-  g.weights_ = std::move(weights_);
+  g.own_weights_ = std::move(weights_);
   weights_.clear();
 
   // Edge-side CSR; sort members, validate range and distinctness.
-  g.edge_offsets_.assign(1, 0);
-  g.edge_offsets_.reserve(edges_.size() + 1);
+  g.own_edge_offsets_.assign(1, 0);
+  g.own_edge_offsets_.reserve(edges_.size() + 1);
   std::vector<std::uint32_t> degree(n, 0);
   std::size_t total = 0;
   for (auto& e : edges_) total += e.size();
-  g.edge_vertices_.reserve(total);
+  g.own_edge_vertices_.reserve(total);
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     auto& members = edges_[i];
     if (members.empty()) {
@@ -77,41 +174,44 @@ Hypergraph Builder::build() {
       ++degree[members[j]];
     }
     g.rank_ = std::max(g.rank_, static_cast<std::uint32_t>(members.size()));
-    g.edge_vertices_.insert(g.edge_vertices_.end(), members.begin(),
-                            members.end());
-    g.edge_offsets_.push_back(g.edge_vertices_.size());
+    g.own_edge_vertices_.insert(g.own_edge_vertices_.end(), members.begin(),
+                                members.end());
+    g.own_edge_offsets_.push_back(g.own_edge_vertices_.size());
   }
 
   // Vertex-side CSR from the degree histogram.
-  g.vertex_offsets_.assign(n + 1, 0);
+  g.own_vertex_offsets_.assign(n + 1, 0);
   for (std::uint32_t v = 0; v < n; ++v) {
-    g.vertex_offsets_[v + 1] = g.vertex_offsets_[v] + degree[v];
+    g.own_vertex_offsets_[v + 1] = g.own_vertex_offsets_[v] + degree[v];
     g.max_degree_ = std::max(g.max_degree_, degree[v]);
   }
 
   // Local max-degree table: Delta(e) = max_{v in e} degree(v), one pass
   // over the incidences so local_max_degree(e) is O(1) forever after.
-  g.local_max_degree_.assign(edges_.size(), 0);
-  for (std::size_t e = 0; e + 1 < g.edge_offsets_.size(); ++e) {
+  g.own_local_max_degree_.assign(edges_.size(), 0);
+  for (std::size_t e = 0; e + 1 < g.own_edge_offsets_.size(); ++e) {
     std::uint32_t best = 0;
-    for (std::size_t k = g.edge_offsets_[e]; k < g.edge_offsets_[e + 1]; ++k) {
-      best = std::max(best, degree[g.edge_vertices_[k]]);
+    for (std::size_t k = g.own_edge_offsets_[e];
+         k < g.own_edge_offsets_[e + 1]; ++k) {
+      best = std::max(best, degree[g.own_edge_vertices_[k]]);
     }
-    g.local_max_degree_[e] = best;
+    g.own_local_max_degree_[e] = best;
     g.max_local_degree_ = std::max(g.max_local_degree_, best);
   }
-  g.vertex_edges_.resize(g.edge_vertices_.size());
-  std::vector<std::size_t> cursor(g.vertex_offsets_.begin(),
-                                  g.vertex_offsets_.end() - 1);
-  for (std::size_t e = 0; e + 1 < g.edge_offsets_.size(); ++e) {
-    for (std::size_t k = g.edge_offsets_[e]; k < g.edge_offsets_[e + 1]; ++k) {
-      const VertexId v = g.edge_vertices_[k];
-      g.vertex_edges_[cursor[v]++] = static_cast<EdgeId>(e);
+  g.own_vertex_edges_.resize(g.own_edge_vertices_.size());
+  std::vector<Offset> cursor(g.own_vertex_offsets_.begin(),
+                             g.own_vertex_offsets_.end() - 1);
+  for (std::size_t e = 0; e + 1 < g.own_edge_offsets_.size(); ++e) {
+    for (std::size_t k = g.own_edge_offsets_[e];
+         k < g.own_edge_offsets_[e + 1]; ++k) {
+      const VertexId v = g.own_edge_vertices_[k];
+      g.own_vertex_edges_[cursor[v]++] = static_cast<EdgeId>(e);
     }
   }
   // Edge ids per vertex are emitted in increasing e, hence already sorted.
 
   edges_.clear();
+  g.rebind();
   return g;
 }
 

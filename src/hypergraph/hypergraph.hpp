@@ -6,8 +6,17 @@
 // integer vertex weights, rank f = max edge size, maximum degree
 // Delta = max number of edges containing a vertex. It doubles as the
 // topology of the CONGEST communication network N(E ∪ V, {{e,v} | v ∈ e}).
+//
+// Storage model: every accessor reads through span views. For a graph
+// built by Builder the views point at vectors the graph owns; a graph
+// adopted from a validated `hgb` binary buffer (hypergraph/binary.hpp)
+// points the same views into that external buffer — zero copies, zero
+// CSR rebuilding — and keeps it alive through a shared keepalive handle.
+// Copies of an adopted graph share the buffer; copies of an owned graph
+// deep-copy the vectors.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,12 +25,23 @@ namespace hypercover::hg {
 using VertexId = std::uint32_t;
 using EdgeId = std::uint32_t;
 using Weight = std::int64_t;
+/// CSR offset type — fixed 64-bit so the in-memory layout matches the
+/// on-disk `hgb` format exactly (adoption is a pointer fixup, not a
+/// widening copy).
+using Offset = std::uint64_t;
 
 class Builder;
+namespace detail {
+struct HypergraphStorageAccess;  // hypergraph/binary.cpp internals
+}
 
 class Hypergraph {
  public:
   Hypergraph() = default;
+  Hypergraph(const Hypergraph& other);
+  Hypergraph(Hypergraph&& other) noexcept;
+  Hypergraph& operator=(const Hypergraph& other);
+  Hypergraph& operator=(Hypergraph&& other) noexcept;
 
   /// Number of vertices n = |V| (includes isolated vertices).
   [[nodiscard]] std::uint32_t num_vertices() const noexcept {
@@ -88,21 +108,44 @@ class Hypergraph {
     return edge_vertices_.size();
   }
 
+  /// True when the CSR arrays live in an adopted external buffer (an
+  /// `hgb` byte buffer or mmap'd file) instead of owned vectors.
+  [[nodiscard]] bool adopted() const noexcept { return storage_ != nullptr; }
+
   /// Sum of weights over a vertex subset given as an indicator vector.
   [[nodiscard]] Weight weight_of(const std::vector<bool>& in_set) const;
 
  private:
   friend class Builder;
+  friend struct detail::HypergraphStorageAccess;
 
-  std::vector<Weight> weights_;
-  std::vector<std::size_t> vertex_offsets_;  // size n+1
-  std::vector<EdgeId> vertex_edges_;
-  std::vector<std::size_t> edge_offsets_;  // size m+1
-  std::vector<VertexId> edge_vertices_;
-  std::vector<std::uint32_t> local_max_degree_;  // Delta(e), size m
+  /// Points the span views at the owned vectors (owned-storage mode).
+  void rebind() noexcept;
+
+  // Views every accessor reads through. In owned mode they alias the
+  // own_* vectors below; in adopted mode they alias the external buffer
+  // kept alive by storage_.
+  std::span<const Weight> weights_;
+  std::span<const Offset> vertex_offsets_;  // size n+1
+  std::span<const EdgeId> vertex_edges_;
+  std::span<const Offset> edge_offsets_;  // size m+1
+  std::span<const VertexId> edge_vertices_;
+  std::span<const std::uint32_t> local_max_degree_;  // Delta(e), size m
   std::uint32_t rank_ = 0;
   std::uint32_t max_degree_ = 0;
   std::uint32_t max_local_degree_ = 0;
+
+  // Owned backing storage (empty while adopted).
+  std::vector<Weight> own_weights_;
+  std::vector<Offset> own_vertex_offsets_;
+  std::vector<EdgeId> own_vertex_edges_;
+  std::vector<Offset> own_edge_offsets_;
+  std::vector<VertexId> own_edge_vertices_;
+  std::vector<std::uint32_t> own_local_max_degree_;
+
+  /// Keeps an adopted buffer alive for as long as any copy of this graph
+  /// reads through it (e.g. the munmap handle of a mapped `hgb` file).
+  std::shared_ptr<const void> storage_;
 };
 
 /// Incremental constructor for Hypergraph. Validates on build():

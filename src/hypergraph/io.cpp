@@ -1,7 +1,9 @@
 #include "hypergraph/io.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace hypercover::hg {
@@ -61,6 +63,7 @@ Hypergraph read_text(std::istream& is) {
   Builder b;
   for (std::int64_t v = 0; v < n; ++v) b.add_vertex(next_int(is, "weight"));
   std::vector<VertexId> members;
+  std::vector<VertexId> sorted;
   for (std::int64_t e = 0; e < m; ++e) {
     const auto k = next_int(is, "edge size");
     if (k <= 0) throw std::runtime_error("hypergraph read: edge size <= 0");
@@ -72,7 +75,28 @@ Hypergraph read_text(std::istream& is) {
       }
       members.push_back(static_cast<VertexId>(v));
     }
+    // Reject duplicate members here (not only in Builder) so both the
+    // text and binary readers enforce the same contract with the same
+    // error family: malformed *input* is std::runtime_error, while
+    // std::invalid_argument stays the programmatic-API error.
+    sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i] == sorted[i - 1]) {
+        throw std::runtime_error("hypergraph read: edge " + std::to_string(e) +
+                                 " has duplicate vertex " +
+                                 std::to_string(sorted[i]));
+      }
+    }
     b.add_edge(std::span<const VertexId>(members));
+  }
+  // A complete graph must be followed by end-of-input (comments aside):
+  // trailing tokens mean a malformed or truncated-header instance, and
+  // silently ignoring them used to mask exactly that.
+  std::string trailing;
+  if (next_token(is, trailing)) {
+    throw std::runtime_error("hypergraph read: trailing token '" + trailing +
+                             "' after the last edge");
   }
   return b.build();
 }

@@ -15,8 +15,10 @@ namespace hypercover::hg {
 
 void write_text(std::ostream& os, const Hypergraph& g);
 
-/// Parses the format above; throws std::runtime_error with a line-aware
-/// message on malformed input.
+/// Parses the format above; throws std::runtime_error on malformed input.
+/// Strict: duplicate vertices within an edge and any trailing token after
+/// the last edge are rejected (same contract as the binary validator in
+/// hypergraph/binary.hpp — this is the debug path, not the lenient one).
 [[nodiscard]] Hypergraph read_text(std::istream& is);
 
 [[nodiscard]] std::string to_text(const Hypergraph& g);

@@ -60,6 +60,7 @@ class ResultCache {
     if (lru_.size() > capacity_) {
       index_.erase(lru_.back().first);
       lru_.pop_back();
+      ++evictions_;  // capacity pressure, distinct from cold misses
     }
   }
 
@@ -76,6 +77,13 @@ class ResultCache {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
   }
+  /// Entries pushed out by capacity (not counting capacity-0 drops, where
+  /// nothing was ever cached). misses >> evictions means a cold workload;
+  /// misses ~ evictions means the cache is too small for the working set.
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   using Entry = std::pair<std::uint64_t, std::shared_ptr<const api::Solution>>;
@@ -84,7 +92,7 @@ class ResultCache {
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0, misses_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
 };
 
 }  // namespace hypercover::server

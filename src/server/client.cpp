@@ -71,6 +71,33 @@ GraphInfo Client::submit_graph_path(const std::string& path) {
   return submit_graph(1, path);  // path-by-reference
 }
 
+namespace {
+GraphInfo decode_graph_ok(const Frame& reply) {
+  PayloadReader r(reply.payload);
+  GraphInfo info;
+  info.digest = r.u64();
+  info.vertices = r.u32();
+  info.edges = r.u32();
+  return info;
+}
+}  // namespace
+
+GraphInfo Client::submit_graph_binary(std::span<const std::uint8_t> hgb) {
+  PayloadWriter w;
+  w.u8(0);  // inline hgb bytes
+  w.bytes(hgb);
+  return decode_graph_ok(
+      round_trip(FrameTag::kSubmitGraphBinary, w.take(), FrameTag::kGraphOk));
+}
+
+GraphInfo Client::submit_graph_binary_path(const std::string& path) {
+  PayloadWriter w;
+  w.u8(1);  // path-by-reference, server mmaps
+  w.str(path);
+  return decode_graph_ok(
+      round_trip(FrameTag::kSubmitGraphBinary, w.take(), FrameTag::kGraphOk));
+}
+
 WireResult Client::solve(std::string_view algorithm, const SolveKnobs& knobs) {
   PayloadWriter w;
   encode_solve(w, algorithm, knobs);

@@ -14,6 +14,7 @@
 // hangs on a well-behaved server: every request has exactly one reply.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -60,6 +61,14 @@ class Client {
   /// Path-by-reference: the SERVER opens this path (useful when client
   /// and server share a filesystem — the instance bytes skip the socket).
   GraphInfo submit_graph_path(const std::string& path);
+
+  /// Sends an hgb buffer (hypergraph/binary.hpp) inline; the server
+  /// validates and adopts it without re-parsing any text.
+  GraphInfo submit_graph_binary(std::span<const std::uint8_t> hgb);
+
+  /// Path-by-reference for an .hgb file: the SERVER mmaps and adopts it
+  /// zero-copy — the cheapest way to stage a large shared instance.
+  GraphInfo submit_graph_binary_path(const std::string& path);
 
   /// Solves the connection's current graph. The returned WireResult
   /// carries the full cover and duals for local re-verification.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include "api/batch.hpp"
 #include "api/registry.hpp"
 #include "congest/thread_pool.hpp"
+#include "hypergraph/binary.hpp"
 #include "hypergraph/io.hpp"
 #include "server/cache.hpp"
 #include "server/socket.hpp"
@@ -23,9 +25,11 @@ namespace hypercover::server {
 
 namespace {
 
-/// Graph kinds on a SubmitGraph frame.
+/// Graph kinds on a SubmitGraph / SubmitGraphBinary frame.
 constexpr std::uint8_t kGraphInlineText = 0;
 constexpr std::uint8_t kGraphByPath = 1;
+constexpr std::uint8_t kGraphInlineBinary = 0;  // SubmitGraphBinary kinds
+constexpr std::uint8_t kGraphBinaryByPath = 1;
 
 }  // namespace
 
@@ -94,6 +98,7 @@ struct SolveServer::Impl {
     s.solves = solves.load(std::memory_order_relaxed);
     s.cache_hits = cache.hits();
     s.cache_misses = cache.misses();
+    s.cache_evictions = cache.evictions();
     s.busy_rejections = busy_rejections.load(std::memory_order_relaxed);
     s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
     {
@@ -180,6 +185,64 @@ struct SolveServer::Impl {
     state.graph = std::make_shared<const hg::Hypergraph>(std::move(parsed));
     state.digest = util::graph_digest(*state.graph);
     state.text_bytes = text.size();
+    PayloadWriter w;
+    w.u64(state.digest);
+    w.u32(state.graph->num_vertices());
+    w.u32(state.graph->num_edges());
+    write_frame(sock, FrameTag::kGraphOk, w.take());
+  }
+
+  /// SubmitGraphBinary (protocol v2): an hgb buffer inline, or a path the
+  /// server mmaps. Same reply (GraphOk) and the same admission byte
+  /// budget as text submits — the admission weight is the hgb byte size.
+  /// The by-path mode is the zero-copy path: the mapped buffer is adopted
+  /// in place and shared by every queued solve of this instance.
+  void handle_submit_graph_binary(Socket& sock, PayloadReader& r,
+                                  ConnGraph& state) {
+    const std::uint8_t kind = r.u8();
+    hg::Hypergraph adopted;
+    std::uint64_t byte_size = 0;
+    try {
+      if (kind == kGraphInlineBinary) {
+        // Move the blob into shared storage and adopt it there: heap
+        // allocations are 8-aligned, so no copy beyond the frame decode.
+        auto blob =
+            std::make_shared<const std::vector<std::uint8_t>>(r.bytes());
+        byte_size = blob->size();
+        if (byte_size > opts.max_queued_bytes) {
+          send_busy(sock);
+          return;
+        }
+        const std::span<const std::uint8_t> view(*blob);
+        adopted = hg::adopt_binary(view, std::move(blob));
+      } else if (kind == kGraphBinaryByPath) {
+        const std::string path = r.str();
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        if (ec) {
+          send_error(sock, "cannot stat graph file: " + path);
+          return;
+        }
+        byte_size = size;
+        if (byte_size > opts.max_queued_bytes) {
+          send_busy(sock);
+          return;
+        }
+        adopted = hg::map_file(path);
+      } else {
+        send_error(sock,
+                   "unknown SubmitGraphBinary kind " + std::to_string(kind));
+        return;
+      }
+    } catch (const hg::BinaryFormatError& ex) {
+      send_error(sock, std::string("bad binary graph: ") + ex.what());
+      return;
+    }
+    state.graph = std::make_shared<const hg::Hypergraph>(std::move(adopted));
+    // The header digest was already verified against the content by
+    // validation, so it IS util::graph_digest of the adopted graph.
+    state.digest = util::graph_digest(*state.graph);
+    state.text_bytes = byte_size;
     PayloadWriter w;
     w.u64(state.digest);
     w.u32(state.graph->num_vertices());
@@ -284,6 +347,9 @@ struct SolveServer::Impl {
           }
           case FrameTag::kSubmitGraph:
             handle_submit_graph(sock, r, state);
+            break;
+          case FrameTag::kSubmitGraphBinary:
+            handle_submit_graph_binary(sock, r, state);
             break;
           case FrameTag::kSolve:
             handle_solve(sock, r, state);

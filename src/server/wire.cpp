@@ -80,6 +80,11 @@ void PayloadWriter::str(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+void PayloadWriter::bytes(std::span<const std::uint8_t> b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
 const std::uint8_t* PayloadReader::need(std::size_t n) {
   if (buf_.size() - pos_ < n) {
     throw ProtocolError("payload truncated (need " + std::to_string(n) +
@@ -112,6 +117,12 @@ std::string PayloadReader::str() {
   const std::uint32_t len = u32();
   const std::uint8_t* p = need(len);
   return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+std::vector<std::uint8_t> PayloadReader::bytes() {
+  const std::uint32_t len = u32();
+  const std::uint8_t* p = need(len);
+  return std::vector<std::uint8_t>(p, p + len);
 }
 
 // --- typed payloads --------------------------------------------------------
@@ -255,6 +266,7 @@ void encode_stats(PayloadWriter& w, const ServerStats& s) {
   w.u64(s.solves);
   w.u64(s.cache_hits);
   w.u64(s.cache_misses);
+  w.u64(s.cache_evictions);
   w.u64(s.busy_rejections);
   w.u64(s.protocol_errors);
   w.u64(s.in_flight);
@@ -271,6 +283,7 @@ ServerStats decode_stats(PayloadReader& r) {
   s.solves = r.u64();
   s.cache_hits = r.u64();
   s.cache_misses = r.u64();
+  s.cache_evictions = r.u64();
   s.busy_rejections = r.u64();
   s.protocol_errors = r.u64();
   s.in_flight = r.u64();

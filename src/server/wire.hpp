@@ -9,6 +9,7 @@
 // Conversation (client drives; every request gets exactly one reply):
 //   Hello{version}            -> HelloOk{version, algorithms}
 //   SubmitGraph{text | path}  -> GraphOk{graph_digest, n, m}   | Error
+//   SubmitGraphBinary{hgb bytes | path} -> GraphOk{...}        | Error
 //   Solve{algo, knobs}        -> Result{...}                   | Busy | Error
 //   Stats{}                   -> StatsReply{counters}
 //   Shutdown{}                -> ShutdownOk{}   (server then drains + exits)
@@ -21,6 +22,7 @@
 // against its own copy of the instance without trusting the server.
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -32,7 +34,9 @@
 
 namespace hypercover::server {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2 added SubmitGraphBinary (hgb buffers inline or by-path) and the
+/// cache_evictions stats counter.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Default cap on one frame's payload. Admission control can lower the
 /// effective graph size well below this; the cap exists so a garbage
@@ -52,6 +56,7 @@ enum class FrameTag : std::uint8_t {
   kShutdownOk = 10,
   kBusy = 11,
   kError = 12,
+  kSubmitGraphBinary = 13,
 };
 
 /// Peer spoke the protocol wrongly (truncated frame, unknown tag, length
@@ -89,6 +94,8 @@ class PayloadWriter {
   void f64(double v);
   /// u32 length + raw bytes.
   void str(std::string_view s);
+  /// u32 length + raw bytes (binary blobs, e.g. an hgb buffer).
+  void bytes(std::span<const std::uint8_t> b);
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
@@ -107,6 +114,8 @@ class PayloadReader {
   [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   [[nodiscard]] double f64();
   [[nodiscard]] std::string str();
+  /// u32 length + raw bytes; the length is validated against remaining().
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
   [[nodiscard]] bool done() const noexcept { return pos_ == buf_.size(); }
   /// Bytes left to read — lets decoders validate an element count
   /// against the actual payload before allocating count-sized storage.
@@ -183,6 +192,7 @@ struct ServerStats {
   std::uint64_t solves = 0;          // Result frames sent
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;  // capacity pressure (protocol v2)
   std::uint64_t busy_rejections = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t in_flight = 0;

@@ -14,11 +14,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "api/registry.hpp"
 #include "baselines/kmw.hpp"
 #include "baselines/kvy.hpp"
 #include "baselines/sequential.hpp"
 #include "core/mwhvc.hpp"
+#include "hypergraph/binary.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
@@ -26,6 +35,7 @@
 #include "ilp/generators.hpp"
 #include "ilp/pipeline.hpp"
 #include "ilp/simulation.hpp"
+#include "util/digest.hpp"
 #include "util/math.hpp"
 #include "verify/verify.hpp"
 
@@ -188,6 +198,69 @@ TEST_P(FuzzSeed, PlantedInstancesStayWithinGuarantee) {
   EXPECT_LE(static_cast<double>(res.cover_weight),
             (inst.graph.rank() + 0.5) *
                 static_cast<double>(inst.optimal_weight) + 1e-9);
+}
+
+TEST_P(FuzzSeed, BinaryFormatDifferential) {
+  const auto p = derive(GetParam());
+  const auto g =
+      hg::random_uniform(p.n, p.m, p.f, model_for(p.weight_model, p.n), GetParam());
+
+  // text -> binary -> text must be bit-identical, and the binary round
+  // trip must preserve the canonical graph digest.
+  const std::vector<std::uint8_t> hgb = hg::write_binary(g);
+  const hg::Hypergraph decoded = hg::read_binary(hgb);
+  EXPECT_EQ(hg::to_text(g), hg::to_text(decoded)) << "seed " << GetParam();
+  EXPECT_EQ(util::graph_digest(g), util::graph_digest(decoded))
+      << "seed " << GetParam();
+
+  // binary -> mmap -> solve: the mapped (zero-copy, adopted) graph must
+  // solve bit-identically to the in-memory original.
+  char tmpl[] = "/tmp/hypercover_fuzz_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/g.hgb";
+  hg::write_binary_file(path, g);
+  {
+    const hg::Hypergraph mapped = hg::map_file(path);
+    ASSERT_TRUE(mapped.adopted());
+    const api::SolveRequest req;
+    const api::Solution a = api::solve("mwhvc", g, req);
+    const api::Solution b = api::solve("mwhvc", mapped, req);
+    EXPECT_EQ(a.net.transcript_hash, b.net.transcript_hash)
+        << "seed " << GetParam();
+    EXPECT_EQ(util::solve_digest(g, "mwhvc", req),
+              util::solve_digest(mapped, "mwhvc", req))
+        << "seed " << GetParam();
+    EXPECT_EQ(a.cover_weight, b.cover_weight) << "seed " << GetParam();
+  }  // unmap before unlink
+  std::remove(path.c_str());
+  ::rmdir(tmpl);
+
+  // Seed-derived corruptions must all fail validation cleanly (the
+  // exhaustive every-byte sweep lives in binary_test; this samples the
+  // same property across many random instances under ASan).
+  util::SplitMix64 mix(GetParam() ^ 0xb17f0047u);
+  auto expect_rejected = [&](std::vector<std::uint8_t> buf, const char* what) {
+    EXPECT_THROW(hg::validate_binary(buf), hg::BinaryFormatError)
+        << what << ", seed " << GetParam();
+  };
+  for (int i = 0; i < 8; ++i) {  // random single-byte flips
+    std::vector<std::uint8_t> bad = hgb;
+    bad[mix.next() % bad.size()] ^= static_cast<std::uint8_t>(
+        1u << (mix.next() % 8));
+    expect_rejected(std::move(bad), "byte flip");
+  }
+  expect_rejected({hgb.begin(), hgb.begin() + mix.next() % hgb.size()},
+                  "truncation");
+  {
+    std::vector<std::uint8_t> bad = hgb;
+    bad[mix.next() % 8] ^= 0xFF;  // magic occupies bytes [0, 8)
+    expect_rejected(std::move(bad), "bad magic");
+  }
+  {
+    std::vector<std::uint8_t> bad = hgb;
+    bad[32 + mix.next() % 8] ^= 0xFF;  // graph_digest occupies [32, 40)
+    expect_rejected(std::move(bad), "bad digest");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range<std::uint64_t>(1, 25));

@@ -115,11 +115,52 @@ TEST(HypergraphIo, RejectsMalformedInput) {
   // Member out of range.
   EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 5\n"),
                std::runtime_error);
-  // Builder-level validation still applies: duplicate members.
+  // Duplicate members are malformed *input*, rejected by the reader
+  // itself (std::runtime_error) — the same contract the binary validator
+  // enforces — not left for Builder's std::invalid_argument.
   EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 0\n"),
-               std::invalid_argument);
+               std::runtime_error);
   // Non-positive weight (paper requires w : V -> N+).
   EXPECT_THROW((void)from_text("hypergraph 1 0\n0\n"), std::invalid_argument);
+}
+
+TEST(HypergraphIo, RejectsDuplicateEdgeMembers) {
+  // Adjacent duplicates, in both sorted and unsorted member order.
+  EXPECT_THROW((void)from_text("hypergraph 3 1\n1 1 1\n3 0 1 1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)from_text("hypergraph 3 1\n1 1 1\n3 2 0 2\n"),
+               std::runtime_error);
+  // The error names the offending edge and vertex.
+  try {
+    (void)from_text("hypergraph 4 2\n1 1 1 1\n2 0 1\n3 3 2 3\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find('1'), std::string::npos) << what;  // edge index 1
+    EXPECT_NE(what.find('3'), std::string::npos) << what;  // vertex 3
+  }
+  // Distinct members stay accepted regardless of order.
+  EXPECT_NO_THROW((void)from_text("hypergraph 3 1\n1 1 1\n3 2 0 1\n"));
+}
+
+TEST(HypergraphIo, RejectsTrailingTokensAfterLastEdge) {
+  // A stray token after the complete graph used to be silently dropped,
+  // hiding truncated headers and concatenated files.
+  EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 1\n7\n"),
+               std::runtime_error);
+  // A whole extra edge line is junk too (the header said m = 1).
+  EXPECT_THROW((void)from_text("hypergraph 3 1\n1 1 1\n2 0 1\n2 1 2\n"),
+               std::runtime_error);
+  try {
+    (void)from_text("hypergraph 2 1\n1 1\n2 0 1\njunk\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("junk"), std::string::npos)
+        << e.what();
+  }
+  // Trailing comments and whitespace are NOT junk.
+  EXPECT_NO_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 1\n# done\n\n  \n"));
 }
 
 TEST(HypergraphIo, RejectsNegativeWeights) {

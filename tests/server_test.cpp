@@ -12,8 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,6 +25,7 @@
 
 #include "api/batch.hpp"
 #include "api/registry.hpp"
+#include "hypergraph/binary.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/weights.hpp"
@@ -194,6 +199,23 @@ TEST(ResultCache, ZeroCapacityDisables) {
   cache.insert(1, std::make_shared<const api::Solution>());
   EXPECT_EQ(cache.find(1), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, CountsEvictions) {
+  server::ResultCache cache(1);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.insert(1, std::make_shared<const api::Solution>());
+  cache.insert(1, std::make_shared<const api::Solution>());  // replace, no evict
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.insert(2, std::make_shared<const api::Solution>());  // evicts key 1
+  cache.insert(3, std::make_shared<const api::Solution>());  // evicts key 2
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A zero-capacity cache drops inserts without calling them evictions.
+  server::ResultCache off(0);
+  off.insert(1, std::make_shared<const api::Solution>());
+  EXPECT_EQ(off.evictions(), 0u);
 }
 
 // --- BatchScheduler service mode -------------------------------------------
@@ -382,6 +404,26 @@ TEST_F(ServerFraming, UnknownAlgorithmIsAnError) {
   EXPECT_THROW((void)c.solve("no-such-algo"), server::RemoteError);
 }
 
+TEST_F(ServerFraming, BadBinaryGraphIsAnErrorAndConnectionRecovers) {
+  server::Client c = srv_.client();
+  const hg::Hypergraph g = test_graph();
+  std::vector<std::uint8_t> hgb = hg::write_binary(g);
+
+  std::vector<std::uint8_t> corrupt = hgb;
+  corrupt[40] ^= 0xFF;  // body byte — fails the structural sweep
+  EXPECT_THROW((void)c.submit_graph_binary(corrupt), server::RemoteError);
+  corrupt = hgb;
+  corrupt.resize(63);  // shorter than the header
+  EXPECT_THROW((void)c.submit_graph_binary(corrupt), server::RemoteError);
+  EXPECT_THROW((void)c.submit_graph_binary_path("/no/such/file.hgb"),
+               server::RemoteError);
+
+  // Same connection recovers with the intact buffer.
+  const server::GraphInfo info = c.submit_graph_binary(hgb);
+  EXPECT_EQ(info.digest, util::graph_digest(g));
+  EXPECT_TRUE(c.solve("greedy").cert_valid);
+}
+
 // --- served-solve parity ---------------------------------------------------
 
 TEST(ServerSolve, EveryRegisteredAlgorithmMatchesSolo) {
@@ -445,6 +487,70 @@ TEST(ServerSolve, CacheHitIsBitIdenticalToTheColdSolve) {
   const server::ServerStats stats = srv.server().stats();
   EXPECT_GE(stats.cache_hits, 1u);
   EXPECT_GE(stats.cache_misses, 1u);
+}
+
+TEST(ServerSolve, BinarySubmitsMatchTextSubmitsBitForBit) {
+  TestServer srv;
+  const hg::Hypergraph g = test_graph();
+  const std::vector<std::uint8_t> hgb = hg::write_binary(g);
+
+  // Text ingestion first: the cold solve populates the cache.
+  server::Client text_client = srv.client();
+  const server::GraphInfo via_text = text_client.submit_graph_text(hg::to_text(g));
+  const server::WireResult cold = text_client.solve("mwhvc");
+  ASSERT_FALSE(cold.cache_hit);
+  expect_matches_solo(cold, g, "mwhvc", {});
+
+  // Inline binary ingestion must land on the same digest — and therefore
+  // the same cache key: the solve must be a hit, bit-identical to cold.
+  server::Client bin_client = srv.client();
+  const server::GraphInfo via_binary = bin_client.submit_graph_binary(hgb);
+  EXPECT_EQ(via_binary.digest, via_text.digest);
+  EXPECT_EQ(via_binary.digest, util::graph_digest(g));
+  EXPECT_EQ(via_binary.vertices, g.num_vertices());
+  EXPECT_EQ(via_binary.edges, g.num_edges());
+  const server::WireResult warm = bin_client.solve("mwhvc");
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.in_cover, cold.in_cover);
+  EXPECT_EQ(warm.duals, cold.duals);
+  EXPECT_EQ(warm.transcript_hash, cold.transcript_hash);
+  EXPECT_EQ(warm.solve_digest, cold.solve_digest);
+  expect_matches_solo(warm, g, "mwhvc", {});
+}
+
+TEST(ServerSolve, ByPathBinarySubmitMapsAndMatchesSolo) {
+  TestServer srv;
+  const hg::Hypergraph g = test_graph();
+  char tmpl[] = "/tmp/hc_test_hgb_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/g.hgb";
+  hg::write_binary_file(path, g);
+
+  server::Client c = srv.client();
+  const server::GraphInfo info = c.submit_graph_binary_path(path);
+  EXPECT_EQ(info.digest, util::graph_digest(g));
+  const server::WireResult wire = c.solve("mwhvc");
+  expect_matches_solo(wire, g, "mwhvc", {});
+
+  std::remove(path.c_str());
+  ::rmdir(tmpl);
+}
+
+TEST(ServerSolve, EvictionsSurfaceInStats) {
+  server::ServerOptions opts;
+  opts.cache_entries = 1;
+  TestServer srv(opts);
+  server::Client c = srv.client();
+  // Two distinct instances through a one-entry cache: the second solve
+  // must evict the first, and the Stats frame must carry the count.
+  (void)c.submit_graph_text(hg::to_text(test_graph(101)));
+  (void)c.solve("greedy");
+  (void)c.submit_graph_text(hg::to_text(test_graph(102)));
+  (void)c.solve("greedy");
+  const server::ServerStats stats = c.stats();
+  EXPECT_EQ(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
 }
 
 TEST(ServerSolve, ConcurrentClientsHammeringTheCacheStayBitIdentical) {
