@@ -123,6 +123,12 @@ inline void set_activity_counters(benchmark::State& state,
       static_cast<double>(net.sparse_account_passes);
   state.counters["dense_passes"] =
       static_cast<double>(net.dense_account_passes);
+  state.counters["clear_slots"] = static_cast<double>(net.clear_slots);
+  state.counters["step_cycles"] = static_cast<double>(net.step_cycles);
+  state.counters["cycles_per_step"] =
+      net.agent_steps > 0 ? static_cast<double>(net.step_cycles) /
+                                static_cast<double>(net.agent_steps)
+                          : 0.0;
 }
 
 /// Prints the experiment banner + table and forwards to google-benchmark.

@@ -1,0 +1,104 @@
+// E15 — mailbox-layout A/B (engineering bench, not a paper experiment):
+// the epoch-arena SoA mailbox layout (stamp + bit-size lanes, O(1) epoch
+// clearing, per-shard sorted dirty runs) against the legacy byte-presence
+// layout it replaced, on the same end-to-end MWHVC solves e11 times.
+// range(1) selects the layout: 0 = kLegacyBytes (baseline), 1 =
+// kEpochArena. scripts/bench_json.py gates the epoch/legacy real-time
+// ratio and the clear_slots counter on the largest instance.
+//
+// Every timed run is digest-guarded against the legacy-layout reference
+// transcript: a layout that looks fast by dropping or reordering messages
+// aborts the bench instead of reporting a number.
+
+#include "bench/common.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+
+#include <stdexcept>
+
+namespace {
+
+using namespace hypercover;
+
+congest::MailboxLayout layout_of(const benchmark::State& state) {
+  return state.range(1) != 0 ? congest::MailboxLayout::kEpochArena
+                             : congest::MailboxLayout::kLegacyBytes;
+}
+
+// End-to-end solve under the default activity-driven scheduling: sparse
+// tail rounds exercise the per-shard sorted dirty runs + linear merge
+// (epoch) vs the global sort (legacy), and every buffer retirement is one
+// epoch bump vs a presence wipe.
+void BM_EngineLayoutDigestGuard(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  core::MwhvcOptions opts;
+  opts.eps = 0.5;
+  opts.engine.layout = congest::MailboxLayout::kLegacyBytes;
+  const std::uint64_t want_digest =
+      core::solve_mwhvc(g, opts).net.transcript_hash;
+  opts.engine.layout = layout_of(state);
+  core::MwhvcResult last;
+  for (auto _ : state) {
+    last = core::solve_mwhvc(g, opts);
+    if (last.net.transcript_hash != want_digest) {
+      throw std::runtime_error(
+          "mailbox layout diverged from the reference digest");
+    }
+  }
+  state.counters["epoch_arena"] = state.range(1);
+  state.counters["rounds"] = last.net.rounds;
+  state.counters["links"] = static_cast<double>(g.num_incidences());
+  bench::set_activity_counters(state, last.net);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.net.total_messages));
+}
+BENCHMARK(BM_EngineLayoutDigestGuard)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The same A/B under forced dense scheduling: every round takes the
+// saturated path, so this isolates the vectorized stamp/bit-lane
+// reduction and the epoch retirement against the word-at-a-time presence
+// scan and the full memset.
+void BM_EngineLayoutDenseDigestGuard(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g =
+      hg::random_uniform(n, 3 * n, 3, hg::exponential_weights(16), 7);
+  core::MwhvcOptions opts;
+  opts.eps = 0.5;
+  opts.engine.scheduling = congest::Scheduling::kDense;
+  opts.engine.layout = congest::MailboxLayout::kLegacyBytes;
+  const std::uint64_t want_digest =
+      core::solve_mwhvc(g, opts).net.transcript_hash;
+  opts.engine.layout = layout_of(state);
+  core::MwhvcResult last;
+  for (auto _ : state) {
+    last = core::solve_mwhvc(g, opts);
+    if (last.net.transcript_hash != want_digest) {
+      throw std::runtime_error(
+          "mailbox layout diverged from the reference digest");
+    }
+  }
+  state.counters["epoch_arena"] = state.range(1);
+  state.counters["rounds"] = last.net.rounds;
+  bench::set_activity_counters(state, last.net);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(last.net.total_messages));
+}
+BENCHMARK(BM_EngineLayoutDenseDigestGuard)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

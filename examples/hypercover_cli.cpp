@@ -4,8 +4,8 @@
 //
 //   ./hypercover_cli --input=instance.hg [--algo=<name>] [--list-algos]
 //       [--eps=0.5] [--appendix-c] [--alpha=<fixed>] [--threads=1]
-//       [--dense] [--f-approx] [--max-rounds=N] [--quiet] [--cover-only]
-//       [--stats-json[=path]] [--binary]
+//       [--dense] [--layout=epoch|legacy] [--f-approx] [--max-rounds=N]
+//       [--quiet] [--cover-only] [--stats-json[=path]] [--binary]
 //   ./hypercover_cli --input=instance.hg --convert=instance.hgb
 //   ./hypercover_cli --batch=manifest.txt [--threads=N] [--algo=<default>]
 //       [--batch-policy=rr|live] [--batch-quantum=32] [common knobs]
@@ -52,6 +52,8 @@
 // --threads=N steps agents on N workers (0 = one per hardware thread);
 // the run is bit-identical at any value. --dense forces the reference
 // dense engine schedule (for A/B comparisons; also bit-identical).
+// --layout=legacy selects the pre-arena byte-presence mailbox layout
+// (the perf A/B baseline; epoch is the default — also bit-identical).
 // --stats-json dumps a machine-readable record (algorithm, RunStats,
 // transcript hash, engine work counters, verification certificate, wall
 // time) to stdout, or to a file when given a path — the scripted
@@ -123,7 +125,7 @@ enum class Served { kLocal, kCold, kCacheHit };
 /// integer precision. `solve_digest` is util::solve_digest — the same
 /// key the server cache uses.
 std::string stats_json(const api::Solution& sol, std::uint32_t threads,
-                       bool dense, std::size_t cover_size,
+                       bool dense, bool legacy_layout, std::size_t cover_size,
                        std::uint64_t solve_digest, Served served) {
   const congest::RunStats& net = sol.net;
   const verify::Certificate& cert = sol.certificate;
@@ -132,6 +134,7 @@ std::string stats_json(const api::Solution& sol, std::uint32_t threads,
   os << "  \"algo\": \"" << json_escape(sol.algorithm) << "\",\n";
   os << "  \"threads\": " << threads << ",\n";
   os << "  \"scheduling\": \"" << (dense ? "dense" : "active") << "\",\n";
+  os << "  \"layout\": \"" << (legacy_layout ? "legacy" : "epoch") << "\",\n";
   os << "  \"rounds\": " << net.rounds << ",\n";
   os << "  \"completed\": " << (net.completed ? "true" : "false") << ",\n";
   os << "  \"total_messages\": " << net.total_messages << ",\n";
@@ -154,6 +157,17 @@ std::string stats_json(const api::Solution& sol, std::uint32_t threads,
   os << "  \"slots_processed\": " << net.slots_processed << ",\n";
   os << "  \"sparse_account_passes\": " << net.sparse_account_passes << ",\n";
   os << "  \"dense_account_passes\": " << net.dense_account_passes << ",\n";
+  os << "  \"clear_slots\": " << net.clear_slots << ",\n";
+  os << "  \"sparse_clear_passes\": " << net.sparse_clear_passes << ",\n";
+  os << "  \"dense_clear_passes\": " << net.dense_clear_passes << ",\n";
+  os << "  \"epoch_clear_passes\": " << net.epoch_clear_passes << ",\n";
+  os << "  \"step_cycles\": " << net.step_cycles << ",\n";
+  os << "  \"cycles_per_agent_step\": "
+     << json_number(net.agent_steps > 0
+                        ? static_cast<double>(net.step_cycles) /
+                              static_cast<double>(net.agent_steps)
+                        : 0.0)
+     << ",\n";
   os << "  \"cover_weight\": " << cert.cover_weight << ",\n";
   os << "  \"cover_size\": " << cover_size << ",\n";
   os << "  \"dual_total\": " << cert.dual_total << ",\n";
@@ -177,6 +191,7 @@ struct CommonKnobs {
   api::SolveRequest req;
   std::uint32_t threads = 1;
   bool dense = false;
+  bool legacy_layout = false;
 };
 
 /// Parses the shared flags into `k`; returns a nonzero exit code (after
@@ -195,6 +210,14 @@ int parse_knobs(const util::Cli& cli, CommonKnobs& k) {
   k.req.engine.threads = k.threads;
   k.req.engine.scheduling =
       k.dense ? congest::Scheduling::kDense : congest::Scheduling::kActive;
+  const std::string layout = cli.get("layout", std::string("epoch"));
+  if (layout == "legacy") {
+    k.legacy_layout = true;
+    k.req.engine.layout = congest::MailboxLayout::kLegacyBytes;
+  } else if (layout != "epoch" && layout != "1") {
+    std::cerr << "error: --layout must be epoch or legacy\n";
+    return 1;
+  }
   if (cli.has("max-rounds")) {
     const std::int64_t max_rounds =
         cli.get("max-rounds", std::int64_t{1} << 20);
@@ -230,8 +253,9 @@ int emit_solution(const util::Cli& cli, const hg::Hypergraph& g,
   // verification failure below.
   bool json_on_stdout = false;
   if (cli.has("stats-json")) {
-    const std::string json = stats_json(sol, knobs.threads, knobs.dense,
-                                        cover_size, solve_digest, served);
+    const std::string json =
+        stats_json(sol, knobs.threads, knobs.dense, knobs.legacy_layout,
+                   cover_size, solve_digest, served);
     const std::string out_path = cli.get("stats-json", std::string("-"));
     // A bare --stats-json (no =path) parses as "1": dump to stdout, and
     // suppress the human-readable block below so stdout stays parseable
@@ -331,7 +355,18 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
               << "in_flight: " << s.in_flight << "\n"
               << "queued_bytes: " << s.queued_bytes << "\n"
               << "pool_threads: " << s.pool_threads << "\n"
-              << "max_inflight: " << s.max_inflight << "\n";
+              << "max_inflight: " << s.max_inflight << "\n"
+              << "engine_rounds: " << s.engine_rounds << "\n"
+              << "engine_agent_steps: " << s.engine_agent_steps << "\n"
+              << "engine_step_cycles: " << s.engine_step_cycles << "\n"
+              << "engine_slots_processed: " << s.engine_slots_processed << "\n"
+              << "engine_clear_slots: " << s.engine_clear_slots << "\n"
+              << "engine_sparse_clear_passes: " << s.engine_sparse_clear_passes
+              << "\n"
+              << "engine_dense_clear_passes: " << s.engine_dense_clear_passes
+              << "\n"
+              << "engine_epoch_clear_passes: " << s.engine_epoch_clear_passes
+              << "\n";
     return 0;
   }
 
@@ -346,9 +381,9 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
   const hg::Hypergraph g =
       binary ? hg::read_binary(raw_bytes) : hg::from_text(raw);
   if (!quiet) std::cerr << "instance: " << hg::compute_stats(g) << "\n";
-  if (cli.has("threads") || knobs.dense) {
-    std::cerr << "note: --threads/--dense are local-engine knobs; the "
-                 "server's own pool configuration applies\n";
+  if (cli.has("threads") || knobs.dense || knobs.legacy_layout) {
+    std::cerr << "note: --threads/--dense/--layout are local-engine knobs; "
+                 "the server's own pool configuration applies\n";
   }
 
   server::SolveKnobs wire_knobs;

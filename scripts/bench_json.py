@@ -48,12 +48,14 @@ def run_bench(bench, bench_filter, min_time):
 # names the registry algorithm; "certificate" is the verification object
 # (valid / cover_valid / packing_feasible / error).
 SOLVE_FIELDS = (
-    "algo", "threads", "scheduling", "rounds", "completed",
+    "algo", "threads", "scheduling", "layout", "rounds", "completed",
     "total_messages", "total_bits", "max_message_bits",
     "bandwidth_limit_bits", "bandwidth_violations", "transcript_hash",
     "solve_digest", "served", "cache_hit",
     "agents_visited", "agent_steps", "slots_processed",
-    "sparse_account_passes", "dense_account_passes", "cover_weight",
+    "sparse_account_passes", "dense_account_passes", "clear_slots",
+    "sparse_clear_passes", "dense_clear_passes", "epoch_clear_passes",
+    "step_cycles", "cycles_per_agent_step", "cover_weight",
     "cover_size", "dual_total", "certified_ratio", "certificate",
     "wall_ms",
 )
@@ -92,7 +94,9 @@ def summarize(raw):
                        "steps_per_round", "links", "agents_visited",
                        "agent_steps", "slots_processed", "sparse_passes",
                        "dense_passes", "batch", "concurrency", "p50_ms",
-                       "p99_ms", "n", "edges", "incidences", "bytes"):
+                       "p99_ms", "n", "edges", "incidences", "bytes",
+                       "epoch_arena", "clear_slots", "step_cycles",
+                       "cycles_per_step"):
                 point[key] = value
         points.append(point)
     return points
@@ -152,7 +156,14 @@ def main():
         "ParseVsMap benches compare text-parse ingestion (/0) with hgb "
         "mmap + validate + zero-copy adoption (/1), both digest-guarded; "
         "mmap must load the largest instance >= 10x faster (report-only "
-        "on 1-CPU hosts).")
+        "on 1-CPU hosts). EngineLayout benches compare the legacy "
+        "byte-presence mailbox layout (/0) with the epoch-arena SoA "
+        "layout (/1), both digest-guarded; the arena must solve the "
+        "largest instance >= 1.3x faster on multi-core hosts (report-only "
+        "on 1 CPU), must write strictly fewer clear_slots (always "
+        "enforced: epoch retirement clears zero slots), and its "
+        "cycles_per_step must not regress > 15% against the previous "
+        "recorded run.")
 
     context = raw.get("context", {})
     run_record = {
@@ -285,6 +296,74 @@ def main():
               f"{mapped['real_time']:.2f} {parse.get('time_unit', 'ms')} "
               f"({ratio:.1f}x) {status}", file=sys.stderr)
         ok = ok and good
+
+    # Gates: mailbox layout A/B (e15). Names look like
+    # BM_EngineLayoutDigestGuard/100000/1/real_time; parts[1] is the
+    # instance size n, mode 0 the legacy byte-presence layout, mode 1 the
+    # epoch-arena layout. Three checks per pair:
+    #   * wall time: the arena must solve the LARGEST end-to-end
+    #     (non-Dense) instance >= 1.3x faster — enforced on multi-CPU
+    #     hosts, report-only on 1 CPU like the other wall-clock gates;
+    #   * clear_slots: the arena must write strictly fewer clearing slots
+    #     — ALWAYS enforced, the counter is deterministic (epoch
+    #     retirement writes zero slots, the legacy wipe writes them all);
+    #   * cycles_per_step: the arena points must not regress > 15%
+    #     against the previous recorded run's same-named point (multi-CPU
+    #     hosts only; raw cycle counts are too noisy to gate on 1 CPU).
+    layouts = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "EngineLayout" in parts[0] and len(parts) >= 3 \
+                and p.get("real_time"):
+            layouts.setdefault((parts[0], parts[1]), {})[parts[2]] = p
+    largest_e2e = max((int(n) for (base, n) in layouts
+                       if "Dense" not in base), default=None)
+    for (base, n), modes in sorted(layouts.items(),
+                                   key=lambda kv: (kv[0][0], int(kv[0][1]))):
+        legacy, arena = modes.get("0"), modes.get("1")
+        if legacy is None or arena is None:
+            continue
+        ratio = legacy["real_time"] / max(arena["real_time"], 1e-9)
+        enforced = "Dense" not in base and int(n) == largest_e2e \
+            and num_cpus >= 2
+        good = ratio >= 1.3 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced and num_cpus < 2:
+            status += " (report-only: 1 CPU)"
+        print(f"{base}/{n}: legacy {legacy['real_time']:.2f} vs arena "
+              f"{arena['real_time']:.2f} {legacy.get('time_unit', 'ms')} "
+              f"({ratio:.2f}x) {status}", file=sys.stderr)
+        ok = ok and good
+        if "clear_slots" in legacy and "clear_slots" in arena:
+            fewer = arena["clear_slots"] < legacy["clear_slots"]
+            status = "ok" if fewer else "REGRESSION"
+            print(f"{base}/{n}: clear_slots arena "
+                  f"{arena['clear_slots']:.0f} vs legacy "
+                  f"{legacy['clear_slots']:.0f} (strictly fewer) {status}",
+                  file=sys.stderr)
+            ok = ok and fewer
+    if layouts and num_cpus >= 2:
+        prior = {}
+        for old_run in doc["runs"][:-1]:
+            for p in old_run.get("benchmarks", []):
+                if "EngineLayout" in p.get("name", "") \
+                        and p.get("cycles_per_step"):
+                    prior[p["name"]] = p["cycles_per_step"]
+        for p in run_record["benchmarks"]:
+            parts = p["name"].split("/")
+            if "EngineLayout" not in parts[0] or len(parts) < 3 \
+                    or parts[2] != "1" or not p.get("cycles_per_step"):
+                continue
+            base = prior.get(p["name"])
+            if not base:
+                continue
+            drift = p["cycles_per_step"] / base
+            good = drift <= 1.15
+            status = "ok" if good else "REGRESSION"
+            print(f"{p['name']}: cycles/step {p['cycles_per_step']:.0f} vs "
+                  f"prior {base:.0f} ({drift:.2f}x) {status}",
+                  file=sys.stderr)
+            ok = ok and good
     return 0 if ok else 1
 
 

@@ -78,9 +78,10 @@ struct KmwVertexAgent {
     }
     if (r > 0) {
       // Fold the edge round's outcome.
+      const auto in = ctx.inbox();
       for (std::uint32_t k = 0; k < degree; ++k) {
         if (!active[k]) continue;
-        const EMsg* m = ctx.message_from(k);
+        const EMsg* m = in.get(k);
         if (m == nullptr) continue;
         if (m->tag == ETag::kCovered) {
           active[k] = 0;  // δ stays frozen inside sum_delta
@@ -129,8 +130,9 @@ struct KmwEdgeAgent {
     const std::uint32_t r = ctx.round();
     if (r % 2 == 0) return;  // vertex rounds
     bool covered_now = false;
+    const auto in = ctx.inbox();
     for (std::uint32_t j = 0; j < size; ++j) {
-      const VMsg* m = ctx.message_from(j);
+      const VMsg* m = in.get(j);
       if (m->tag == VTag::kCovered) covered_now = true;
     }
     EMsg m;

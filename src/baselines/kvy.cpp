@@ -84,9 +84,10 @@ struct KvyVertexAgent {
       return;
     }
     // Fold edge bids / coverage.
+    const auto in = ctx.inbox();
     for (std::uint32_t k = 0; k < degree; ++k) {
       if (!active[k]) continue;
-      const EMsg* m = ctx.message_from(k);
+      const EMsg* m = in.get(k);
       if (m == nullptr) continue;
       if (m->tag == ETag::kCovered) {
         active[k] = 0;
@@ -146,8 +147,9 @@ struct KvyEdgeAgent {
     double best = 0;
     std::uint32_t best_d = 1;
     bool first = true;
+    const auto in = ctx.inbox();
     for (std::uint32_t j = 0; j < size; ++j) {
-      const VMsg* m = ctx.message_from(j);
+      const VMsg* m = in.get(j);
       if (m->tag == VTag::kCovered) {
         covered_now = true;
         continue;

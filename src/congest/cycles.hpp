@@ -1,0 +1,38 @@
+#pragma once
+// A raw CPU timestamp counter for the engine's cycles-per-agent-step
+// metric (RunStats::step_cycles).
+//
+// The engine brackets each round's agent-stepping phase with two reads
+// and accumulates the delta, so a solve's scheduling cost is visible in
+// counter units that survive frequency scaling better than wall clock on
+// the platforms below. The value is a *work metric*, not a semantic one:
+// it never feeds the transcript hash, and two bit-identical runs will
+// report different step_cycles.
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace hypercover::congest {
+
+/// Current CPU timestamp: TSC on x86-64, the generic counter register on
+/// aarch64, steady_clock ticks elsewhere. Monotonic enough for deltas;
+/// not comparable across hosts.
+inline std::uint64_t cycle_now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+}  // namespace hypercover::congest

@@ -29,7 +29,31 @@
 // accounting (bit totals + transcript hash) runs in a single deterministic
 // slot-order pass after all agents of a round have stepped. A protocol run
 // is therefore a pure function of (hypergraph, agent construction) — with
-// any Options::threads value and either Options::scheduling mode.
+// any Options::threads value, either Options::scheduling mode, and either
+// Options::layout.
+//
+// Mailbox layout (Options::layout == MailboxLayout::kEpochArena, the
+// default): each direction's mailboxes are SoA arenas over the
+// receiver-side CSR — a payload array and a metadata array, double-
+// buffered. Each metadata word packs the slot's uint32 epoch stamp (low
+// half) with its uint32 message bit size (high half), so a send touches
+// exactly one metadata cache line and a presence probe is one load.
+// Shards own contiguous id ranges, so the arenas are the concatenation
+// of per-shard segments [slot_base[shard_begin], slot_base[shard_end]).
+// A slot is present iff its stamp equals the buffer's epoch:
+//
+//     slot s present in buffer B  <=>  uint32(B.meta[s]) == B.epoch
+//
+// Retiring a round's buffer is therefore ++epoch — zero slots written,
+// every round, dense or sparse (the legacy layout memsets or sparse-wipes
+// a byte array instead). Bit sizes are computed once at send time into
+// the metadata lane, so the saturated-round accounting pass is a pure
+// reduction over contiguous words (vectorizable) instead of scattered
+// payload loads, and sparse rounds replace the legacy global sort of the
+// merged dirty list with per-shard sorts (inside the parallel step phase)
+// plus one linear multi-way merge of disjoint ascending runs.
+// MailboxLayout::kLegacyBytes preserves the previous byte-presence layout
+// as the A/B baseline; both produce bit-identical transcripts.
 //
 // Activity-driven execution (Options::scheduling == kActive, the default):
 // protocols in this codebase halt agents progressively — covered edges and
@@ -37,12 +61,11 @@
 // per-shard worklists of live agents, compacted in place (preserving
 // ascending id order) whenever an agent halts, and steps only the
 // worklists. Sends record their destination slot in a per-shard dirty
-// list; accounting merges the lists and visits them in ascending slot
-// order, and mailbox clearing wipes only the recorded slots. A per-round
-// density heuristic falls back to the dense word-at-a-time scan / memset
-// when most links carry a message, so saturated early rounds are not
-// penalized. Quiescence is a live-agent counter maintained at worklist
-// compaction — O(1) per round instead of an O(n + m) scan.
+// list; accounting visits the merged list in ascending slot order. A
+// per-round density heuristic falls back to the dense scan when most
+// links carry a message, so saturated early rounds are not penalized.
+// Quiescence is a live-agent counter maintained at worklist compaction —
+// O(1) per round instead of an O(n + m) scan.
 //
 // Halting is decided by an agent inside its own step(); once an agent
 // reports halted() it is retired from the worklists and never stepped
@@ -69,10 +92,13 @@
 #include <concepts>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <span>
 #include <type_traits>
 #include <vector>
 
+#include "congest/cycles.hpp"
 #include "congest/stats.hpp"
 #include "congest/thread_pool.hpp"
 #include "hypergraph/hypergraph.hpp"
@@ -89,37 +115,132 @@ namespace detail {
 
 /// Per-direction mailbox: one slot per network link, flat over the CSR
 /// positions of the receiving side, double-buffered (current / next).
-/// Under active scheduling each buffer also carries the list of slots
-/// whose present flag is set, so accounting and clearing can visit only
-/// the links that carried a message this round.
+/// Carries both physical layouts; Engine sizes only the one selected by
+/// Options::layout and the other's arrays stay empty.
 template <class M>
-struct LinkBuffer {
+struct Mailbox {
   std::vector<M> current, next;
+
+  // --- kEpochArena: packed stamp + bit-size metadata lane --------------
+  // meta[s] = uint32 epoch stamp (low half) | uint32 bit size << 32. A
+  // slot is present iff its stamp equals the buffer's epoch; epochs
+  // start at 1 so zero-initialized metadata means "empty". Retiring a
+  // buffer is ++epoch; on uint32 wrap-around the metadata is re-zeroed
+  // once (every ~4 billion rounds) so a stale stamp can never collide
+  // with a reused epoch value. Packing keeps the bit size on the same
+  // cache line as the stamp it belongs to: a send is one payload store
+  // plus one metadata store, matching the legacy layout's touch count.
+  std::vector<std::uint64_t> current_meta, next_meta;
+  std::uint32_t current_epoch = 1, next_epoch = 1;
+
+  // --- kLegacyBytes: byte presence flags, wiped on every swap ----------
   std::vector<std::uint8_t> current_present, next_present;
-  std::vector<std::size_t> current_dirty, next_dirty;
-  // True iff the matching dirty list is a complete record of the set
-  // present flags. Saturated rounds skip recording (the dense fallback
-  // neither needs nor wants it), flipping this off for one cycle.
+
+  // Ascending receiver-slot record of the buffer's sends. The epoch
+  // layout fills next_dirty with the merge of per-shard sorted runs and
+  // consumes it at accounting (clearing needs no record); the legacy
+  // layout concatenates unsorted, sorts inside sparse accounting, and
+  // reuses the retired side's list (current_dirty after the swap) for
+  // the targeted sparse wipe.
+  std::vector<std::uint32_t> current_dirty, next_dirty;
+  // True iff the matching dirty list is a complete record of the sends.
+  // Saturated rounds skip recording (the dense fallback neither needs
+  // nor wants it), flipping this off for one cycle.
   bool current_tracked = true, next_tracked = true;
 
-  void resize(std::size_t links) {
+  void init(std::size_t links, MailboxLayout layout) {
     current.resize(links);
     next.resize(links);
-    current_present.assign(links, 0);
-    next_present.assign(links, 0);
+    if (layout == MailboxLayout::kEpochArena) {
+      current_meta.assign(links, 0);
+      next_meta.assign(links, 0);
+      current_epoch = next_epoch = 1;
+    } else {
+      current_present.assign(links, 0);
+      next_present.assign(links, 0);
+    }
     current_dirty.clear();
     next_dirty.clear();
     current_tracked = next_tracked = true;  // empty mailboxes, empty lists
   }
 };
 
+/// Zero-copy view of one agent's incoming mailbox slots — the contiguous
+/// arena segment [base, base + fan) of the receiver-side CSR. Protocols
+/// grab one per step (`ctx.inbox()`), which hoists the slot-base math
+/// and the layout dispatch out of their per-link read loops: `get(k)` is
+/// a single stamp/presence load off cached pointers, and range-for
+/// iterates only the present entries in ascending local order.
+template <class M>
+class Inbox {
+ public:
+  struct Entry {
+    std::uint32_t local;  // index into edges_of(v) / vertices_of(e)
+    const M* msg;
+  };
+
+  class iterator {
+   public:
+    Entry operator*() const noexcept { return {i_, in_->msgs_ + i_}; }
+    iterator& operator++() noexcept {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator!=(const iterator& o) const noexcept { return i_ != o.i_; }
+
+   private:
+    friend class Inbox;
+    iterator(const Inbox* in, std::uint32_t i) noexcept : in_(in), i_(i) {
+      skip();
+    }
+    void skip() noexcept {
+      while (i_ < in_->fan_ && !in_->present(i_)) ++i_;
+    }
+    const Inbox* in_;
+    std::uint32_t i_;
+  };
+
+  /// Number of slots (the agent's degree / edge size), present or not.
+  [[nodiscard]] std::uint32_t size() const noexcept { return fan_; }
+  /// True iff the incident link `local` carried a message last round.
+  [[nodiscard]] bool present(std::uint32_t local) const noexcept {
+    return meta_ ? static_cast<std::uint32_t>(meta_[local]) == epoch_
+                 : present_[local] != 0;
+  }
+  /// Message from incident link `local` sent last round, or nullptr.
+  [[nodiscard]] const M* get(std::uint32_t local) const noexcept {
+    return present(local) ? msgs_ + local : nullptr;
+  }
+  [[nodiscard]] iterator begin() const noexcept { return iterator(this, 0); }
+  [[nodiscard]] iterator end() const noexcept { return iterator(this, fan_); }
+
+  // Constructed by Engine::make_inbox; the pointers alias the engine's
+  // arena segment for one agent and stay valid for the current round.
+  Inbox(const M* msgs, const std::uint64_t* meta,
+        const std::uint8_t* present, std::uint32_t epoch,
+        std::uint32_t fan) noexcept
+      : msgs_(msgs), meta_(meta), present_(present), epoch_(epoch),
+        fan_(fan) {}
+
+ private:
+  const M* msgs_;
+  const std::uint64_t* meta_;    // kEpochArena, else nullptr
+  const std::uint8_t* present_;  // kLegacyBytes, else nullptr
+  std::uint32_t epoch_;
+  std::uint32_t fan_;
+};
+
 /// Per-shard scratch: dirty-slot lists filled by the shard's senders
 /// during a round plus the shard's work counters, merged single-threaded
 /// after the parallel phase. Cache-line aligned so neighbouring shards
-/// never false-share.
+/// never false-share. Capacity is bounded by construction — the engine
+/// reserves each list to the shard's incidence count up front (one send
+/// per owned link per round is the hard cap) and shrinks it back when a
+/// run releases its round memory.
 struct alignas(64) ShardScratch {
-  std::vector<std::size_t> to_edge_dirty;    // edge-side slots written
-  std::vector<std::size_t> to_vertex_dirty;  // vertex-side slots written
+  std::vector<std::uint32_t> to_edge_dirty;    // edge-side slots written
+  std::vector<std::uint32_t> to_vertex_dirty;  // vertex-side slots written
   std::uint64_t agents_visited = 0;
   std::uint64_t agent_steps = 0;
 };
@@ -139,6 +260,8 @@ class Engine {
   using EdgeMsg = typename Protocol::EdgeMsg;
   using VertexAgent = typename Protocol::VertexAgent;
   using EdgeAgent = typename Protocol::EdgeAgent;
+  using VertexInbox = detail::Inbox<EdgeMsg>;
+  using EdgeInbox = detail::Inbox<VertexMsg>;
 
   /// Context handed to a vertex agent during its step. `local` indices
   /// enumerate the vertex's incident edges in edges_of(v) order.
@@ -152,10 +275,16 @@ class Engine {
     [[nodiscard]] hg::EdgeId edge_at(std::uint32_t local) const noexcept {
       return eng_->graph_->edges_of(v_)[local];
     }
+    /// View of this round's incoming messages; grab once per step and
+    /// read through it (hoists the per-link slot math out of the loop).
+    [[nodiscard]] VertexInbox inbox() const noexcept {
+      return eng_->make_inbox(eng_->to_vertex_, eng_->vertex_base(v_),
+                              degree());
+    }
     /// Message from incident edge `local` sent last round, or nullptr.
     [[nodiscard]] const EdgeMsg* message_from(std::uint32_t local) const {
       const std::size_t slot = eng_->vertex_base(v_) + local;
-      return eng_->to_vertex_.current_present[slot]
+      return eng_->slot_present(eng_->to_vertex_, slot)
                  ? &eng_->to_vertex_.current[slot]
                  : nullptr;
     }
@@ -189,9 +318,12 @@ class Engine {
     [[nodiscard]] hg::VertexId vertex_at(std::uint32_t local) const noexcept {
       return eng_->graph_->vertices_of(e_)[local];
     }
+    [[nodiscard]] EdgeInbox inbox() const noexcept {
+      return eng_->make_inbox(eng_->to_edge_, eng_->edge_base(e_), size());
+    }
     [[nodiscard]] const VertexMsg* message_from(std::uint32_t local) const {
       const std::size_t slot = eng_->edge_base(e_) + local;
-      return eng_->to_edge_.current_present[slot]
+      return eng_->slot_present(eng_->to_edge_, slot)
                  ? &eng_->to_edge_.current[slot]
                  : nullptr;
     }
@@ -214,11 +346,16 @@ class Engine {
   /// The graph must outlive the engine. Agents are value-constructed;
   /// protocols initialize them via a set-up pass or first-round logic.
   Engine(const hg::Hypergraph& graph, Options options = {})
-      : graph_(&graph), options_(options) {
+      : graph_(&graph), options_(options),
+        epoch_layout_(options.layout == MailboxLayout::kEpochArena) {
+    // Dirty-slot entries are uint32 (halving their cache traffic); the
+    // hgb wire format already bounds incidence counts the same way.
+    assert(graph.num_incidences() <=
+           std::numeric_limits<std::uint32_t>::max());
     vertex_agents_.resize(graph.num_vertices());
     edge_agents_.resize(graph.num_edges());
-    to_edge_.resize(graph.num_incidences());
-    to_vertex_.resize(graph.num_incidences());
+    to_edge_.init(graph.num_incidences(), options_.layout);
+    to_vertex_.init(graph.num_incidences(), options_.layout);
     build_slot_bases();
     if (options_.pool != nullptr) {
       // External-pool mode: run rounds on the borrowed pool (its size
@@ -271,7 +408,8 @@ class Engine {
   [[nodiscard]] const hg::Hypergraph& graph() const noexcept { return *graph_; }
 
   /// Runs the protocol to quiescence (all agents halted) or to the round
-  /// limit. Returns the accumulated statistics.
+  /// limit, then releases the round-scoped scratch memory. Returns the
+  /// accumulated statistics.
   RunStats run() {
     ensure_frontier();
     while (round_ < options_.max_rounds) {
@@ -283,6 +421,7 @@ class Engine {
     }
     stats_.rounds = round_;
     if (!stats_.completed && all_halted()) stats_.completed = true;
+    release_round_memory();
     return stats_;
   }
 
@@ -290,10 +429,12 @@ class Engine {
   void step_round() {
     ensure_frontier();
     if (options_.keep_round_stats) stats_.per_round.emplace_back();
+    const std::uint64_t t0 = cycle_now();
     if (options_.scheduling == Scheduling::kDense) {
       to_edge_.next_tracked = false;  // dense sweeps never record sends
       to_vertex_.next_tracked = false;
       step_round_dense();
+      stats_.step_cycles += cycle_now() - t0;
     } else {
       // Saturated rounds (most agents live) will be accounted and cleared
       // densely anyway, so skip dirty-slot recording and its push cost;
@@ -306,6 +447,7 @@ class Engine {
       to_edge_.next_tracked = recording_;
       to_vertex_.next_tracked = recording_;
       dispatch_frontier();
+      stats_.step_cycles += cycle_now() - t0;
       fold_scratch();
       refresh_live_count();
     }
@@ -349,13 +491,75 @@ class Engine {
 
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
 
+  /// Releases the round-scoped scratch memory — per-shard dirty lists,
+  /// frontier worklists, merged dirty records — back to the allocator.
+  /// run() calls this at exit so long-lived holders (result caches, batch
+  /// slots) don't pin peak-round footprints; stepping again afterwards is
+  /// still valid (the worklists rebuild lazily from the halted flags and
+  /// the dirty lists regrow on demand).
+  void release_round_memory() {
+    // Swap against empties: `v = {}` is assign(initializer_list), which
+    // clears the contents but may keep the allocation alive.
+    const auto drop = [](auto& v) { std::remove_reference_t<decltype(v)>().swap(v); };
+    for (auto& sc : scratch_) {
+      drop(sc.to_edge_dirty);
+      drop(sc.to_vertex_dirty);
+    }
+    drop(vertex_work_);
+    drop(edge_work_);
+    frontier_built_ = false;  // rebuilt (identically) if stepped again
+    drop(to_edge_.current_dirty);
+    drop(to_edge_.next_dirty);
+    drop(to_vertex_.current_dirty);
+    drop(to_vertex_.next_dirty);
+    // Under the legacy layout current_dirty was the pending wipe record
+    // for the current buffer; dropping it demands a full wipe when that
+    // buffer retires, or stale presence bytes would survive.
+    to_edge_.current_tracked = false;
+    to_vertex_.current_tracked = false;
+    drop(merge_cursor_);
+  }
+
+  /// Bytes currently reserved by the round-scoped scratch structures
+  /// (what release_round_memory frees). Exposed so tests can pin the
+  /// bounded-capacity policy.
+  [[nodiscard]] std::size_t scratch_capacity_bytes() const noexcept {
+    std::size_t bytes = 0;
+    for (const auto& sc : scratch_) {
+      bytes += sc.to_edge_dirty.capacity() * sizeof(std::uint32_t);
+      bytes += sc.to_vertex_dirty.capacity() * sizeof(std::uint32_t);
+    }
+    for (const auto& wl : vertex_work_) {
+      bytes += wl.capacity() * sizeof(std::uint32_t);
+    }
+    for (const auto& wl : edge_work_) {
+      bytes += wl.capacity() * sizeof(std::uint32_t);
+    }
+    for (const auto* buf_dirty :
+         {&to_edge_.current_dirty, &to_edge_.next_dirty,
+          &to_vertex_.current_dirty, &to_vertex_.next_dirty}) {
+      bytes += buf_dirty->capacity() * sizeof(std::uint32_t);
+    }
+    return bytes;
+  }
+
+  /// Test hook: jumps every buffer epoch to `epoch` (stamps untouched) so
+  /// tests can drive the uint32 epoch wrap without 2^32 real rounds. Only
+  /// valid on a fresh kEpochArena engine (no round stepped: all stamps
+  /// are 0, so any nonzero epoch still reads as "empty").
+  void debug_set_epochs(std::uint32_t epoch) {
+    assert(epoch_layout_ && round_ == 0 && epoch != 0);
+    to_edge_.current_epoch = to_edge_.next_epoch = epoch;
+    to_vertex_.current_epoch = to_vertex_.next_epoch = epoch;
+  }
+
  private:
   friend class VertexCtx;
   friend class EdgeCtx;
 
-  /// Accounting/clearing go sparse when set slots * kSparseFactor < links;
-  /// the dense word scan costs ~links/8 loads, the sparse path a sort plus
-  /// one scattered access per message.
+  /// Accounting goes sparse when set slots * kSparseFactor < links; the
+  /// dense scan costs one pass over the stamp/presence lane, the sparse
+  /// path one scattered access per message.
   static constexpr std::size_t kSparseFactor = 8;
   /// Dirty-slot recording starts once live agents drop below 1/kRecordFactor
   /// of the network (cheap insurance for the upcoming sparse rounds).
@@ -373,6 +577,27 @@ class Engine {
   }
   [[nodiscard]] std::size_t edge_base(hg::EdgeId e) const noexcept {
     return edge_slot_base_[e];
+  }
+
+  template <class M>
+  [[nodiscard]] bool slot_present(const detail::Mailbox<M>& buf,
+                                  std::size_t slot) const noexcept {
+    return epoch_layout_ ? static_cast<std::uint32_t>(
+                               buf.current_meta[slot]) == buf.current_epoch
+                         : buf.current_present[slot] != 0;
+  }
+
+  template <class M>
+  [[nodiscard]] detail::Inbox<M> make_inbox(const detail::Mailbox<M>& buf,
+                                            std::size_t base,
+                                            std::uint32_t fan) const noexcept {
+    if (epoch_layout_) {
+      return detail::Inbox<M>(buf.current.data() + base,
+                              buf.current_meta.data() + base, nullptr,
+                              buf.current_epoch, fan);
+    }
+    return detail::Inbox<M>(buf.current.data() + base, nullptr,
+                            buf.current_present.data() + base, 0, fan);
   }
 
   void build_slot_bases() {
@@ -399,8 +624,10 @@ class Engine {
         const hg::VertexId v = members[j];
         const std::uint32_t k = cursor[v]++;  // e is v's k-th edge
         assert(graph_->edges_of(v)[k] == e);
-        v_send_slot_[vertex_slot_base_[v] + k] = edge_slot_base_[e] + j;
-        e_send_slot_[edge_slot_base_[e] + j] = vertex_slot_base_[v] + k;
+        v_send_slot_[vertex_slot_base_[v] + k] = static_cast<std::uint32_t>(
+            edge_slot_base_[e] + j);
+        e_send_slot_[edge_slot_base_[e] + j] = static_cast<std::uint32_t>(
+            vertex_slot_base_[v] + k);
       }
     }
   }
@@ -420,12 +647,14 @@ class Engine {
     live_agents_ = 0;
     for (unsigned s = 0; s < shards; ++s) {
       auto& vw = vertex_work_[s];
+      vw.clear();
       vw.reserve(vertex_shards_[s + 1] - vertex_shards_[s]);
       for (std::uint32_t v = vertex_shards_[s]; v < vertex_shards_[s + 1];
            ++v) {
         if (!vertex_agents_[v].halted()) vw.push_back(v);
       }
       auto& ew = edge_work_[s];
+      ew.clear();
       ew.reserve(edge_shards_[s + 1] - edge_shards_[s]);
       for (std::uint32_t e = edge_shards_[s]; e < edge_shards_[s + 1]; ++e) {
         if (!edge_agents_[e].halted()) ew.push_back(e);
@@ -436,6 +665,10 @@ class Engine {
 
   /// Steps one shard's worklists and compacts them in place: an agent that
   /// halts during its step is dropped, preserving ascending id order.
+  /// Under the epoch-arena layout a recording shard also sorts its own
+  /// dirty runs here, inside the parallel phase — fold_scratch then only
+  /// needs a linear merge where the legacy layout pays a global sort on
+  /// the accounting thread.
   void step_shard(unsigned s) {
     detail::ShardScratch& sc = scratch_[s];
     auto& vw = vertex_work_[s];
@@ -464,6 +697,10 @@ class Engine {
       if (!a.halted()) ew[out++] = e;
     }
     ew.resize(out);
+    if (epoch_layout_ && recording_) {
+      std::sort(sc.to_edge_dirty.begin(), sc.to_edge_dirty.end());
+      std::sort(sc.to_vertex_dirty.begin(), sc.to_vertex_dirty.end());
+    }
   }
 
   /// Runs all shards, on as many workers as the live-agent count merits.
@@ -489,22 +726,70 @@ class Engine {
 
   /// Merges per-shard dirty lists and work counters, in shard order, on
   /// the calling thread — the single deterministic point between the
-  /// parallel step phase and accounting.
+  /// parallel step phase and accounting. The epoch-arena layout merges
+  /// the shards' already-sorted runs into one ascending list (linear);
+  /// the legacy layout concatenates unsorted and defers to the global
+  /// sort inside sparse accounting, exactly as before.
   void fold_scratch() {
+    if (epoch_layout_ && recording_) {
+      merge_dirty_runs(&detail::ShardScratch::to_edge_dirty,
+                       to_edge_.next_dirty);
+      merge_dirty_runs(&detail::ShardScratch::to_vertex_dirty,
+                       to_vertex_.next_dirty);
+    }
     for (auto& sc : scratch_) {
-      to_edge_.next_dirty.insert(to_edge_.next_dirty.end(),
-                                 sc.to_edge_dirty.begin(),
-                                 sc.to_edge_dirty.end());
-      sc.to_edge_dirty.clear();
-      to_vertex_.next_dirty.insert(to_vertex_.next_dirty.end(),
-                                   sc.to_vertex_dirty.begin(),
-                                   sc.to_vertex_dirty.end());
-      sc.to_vertex_dirty.clear();
+      if (!epoch_layout_) {
+        to_edge_.next_dirty.insert(to_edge_.next_dirty.end(),
+                                   sc.to_edge_dirty.begin(),
+                                   sc.to_edge_dirty.end());
+        sc.to_edge_dirty.clear();
+        to_vertex_.next_dirty.insert(to_vertex_.next_dirty.end(),
+                                     sc.to_vertex_dirty.begin(),
+                                     sc.to_vertex_dirty.end());
+        sc.to_vertex_dirty.clear();
+      }
       stats_.agents_visited += sc.agents_visited;
       sc.agents_visited = 0;
       stats_.agent_steps += sc.agent_steps;
       sc.agent_steps = 0;
     }
+  }
+
+  /// Linear multi-way merge of the shards' ascending dirty runs into
+  /// `out`, replacing the legacy global sort. Slot values are unique
+  /// across shards (one sender per link per round), so the runs are
+  /// disjoint and the merge order is fully determined by the values —
+  /// the result equals what sorting the concatenation would produce.
+  void merge_dirty_runs(std::vector<std::uint32_t> detail::ShardScratch::*run,
+                        std::vector<std::uint32_t>& out) {
+    const std::size_t shards = scratch_.size();
+    if (shards == 1) {
+      auto& only = scratch_[0].*run;
+      out.insert(out.end(), only.begin(), only.end());
+      only.clear();
+      return;
+    }
+    merge_cursor_.assign(shards, 0);
+    std::size_t remaining = 0;
+    for (const auto& sc : scratch_) remaining += (sc.*run).size();
+    out.reserve(out.size() + remaining);
+    while (remaining > 0) {
+      std::size_t best = shards;
+      std::uint32_t best_slot = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto& list = scratch_[s].*run;
+        const std::size_t c = merge_cursor_[s];
+        if (c >= list.size()) continue;
+        if (best == shards || list[c] < best_slot) {
+          best = s;
+          best_slot = list[c];
+        }
+      }
+      out.push_back(best_slot);
+      ++merge_cursor_[best];
+      --remaining;
+    }
+    for (auto& sc : scratch_) (sc.*run).clear();
   }
 
   void refresh_live_count() {
@@ -574,19 +859,40 @@ class Engine {
 
   void send_to_edge(detail::ShardScratch* sc, hg::VertexId v,
                     std::uint32_t local, const VertexMsg& msg) {
-    const std::size_t slot = v_send_slot_[vertex_slot_base_[v] + local];
-    assert(!to_edge_.next_present[slot] && "one message per link per round");
-    to_edge_.next[slot] = msg;
-    to_edge_.next_present[slot] = 1;
+    const std::uint32_t slot = v_send_slot_[vertex_slot_base_[v] + local];
+    if (epoch_layout_) {
+      assert(static_cast<std::uint32_t>(to_edge_.next_meta[slot]) !=
+                 to_edge_.next_epoch &&
+             "one message per link per round");
+      to_edge_.next[slot] = msg;
+      to_edge_.next_meta[slot] =
+          std::uint64_t{to_edge_.next_epoch} |
+          (std::uint64_t{msg.bit_size()} << 32);
+    } else {
+      assert(!to_edge_.next_present[slot] && "one message per link per round");
+      to_edge_.next[slot] = msg;
+      to_edge_.next_present[slot] = 1;
+    }
     if (sc) sc->to_edge_dirty.push_back(slot);
   }
 
   void send_to_vertex(detail::ShardScratch* sc, hg::EdgeId e,
                       std::uint32_t local, const EdgeMsg& msg) {
-    const std::size_t slot = e_send_slot_[edge_slot_base_[e] + local];
-    assert(!to_vertex_.next_present[slot] && "one message per link per round");
-    to_vertex_.next[slot] = msg;
-    to_vertex_.next_present[slot] = 1;
+    const std::uint32_t slot = e_send_slot_[edge_slot_base_[e] + local];
+    if (epoch_layout_) {
+      assert(static_cast<std::uint32_t>(to_vertex_.next_meta[slot]) !=
+                 to_vertex_.next_epoch &&
+             "one message per link per round");
+      to_vertex_.next[slot] = msg;
+      to_vertex_.next_meta[slot] =
+          std::uint64_t{to_vertex_.next_epoch} |
+          (std::uint64_t{msg.bit_size()} << 32);
+    } else {
+      assert(!to_vertex_.next_present[slot] &&
+             "one message per link per round");
+      to_vertex_.next[slot] = msg;
+      to_vertex_.next_present[slot] = 1;
+    }
     if (sc) sc->to_vertex_dirty.push_back(slot);
   }
 
@@ -595,18 +901,30 @@ class Engine {
   /// Folds this round's outgoing messages into the statistics in ascending
   /// slot order (edge-bound then vertex-bound). Runs single-threaded after
   /// the agents step, so totals and the transcript hash never depend on
-  /// agent scheduling. Sparse rounds visit the sorted dirty-slot list —
+  /// agent scheduling. Sparse rounds visit the ascending dirty-slot list —
   /// the same ascending set of slots the dense scan would find, so the
-  /// transcript hash is independent of which path ran.
+  /// transcript hash is independent of which path (and which layout) ran.
   template <class M>
-  void account_links(detail::LinkBuffer<M>& buf, std::uint64_t key_bit) {
+  void account_links(detail::Mailbox<M>& buf, std::uint64_t key_bit) {
     const std::size_t links = graph_->num_incidences();
     auto& dirty = buf.next_dirty;
     if (buf.next_tracked && dirty.size() * kSparseFactor < links) {
-      std::sort(dirty.begin(), dirty.end());
-      for (const std::size_t slot : dirty) {
-        assert(buf.next_present[slot]);
-        account(buf.next[slot].bit_size(), slot * 2 + key_bit);
+      if (epoch_layout_) {
+        // Already ascending (per-shard sorted runs, linearly merged).
+        assert(std::is_sorted(dirty.begin(), dirty.end()));
+        const std::uint64_t* meta = buf.next_meta.data();
+        for (const std::uint32_t slot : dirty) {
+          assert(static_cast<std::uint32_t>(meta[slot]) == buf.next_epoch);
+          account(static_cast<std::uint32_t>(meta[slot] >> 32),
+                  std::uint64_t{slot} * 2 + key_bit);
+        }
+      } else {
+        std::sort(dirty.begin(), dirty.end());
+        for (const std::uint32_t slot : dirty) {
+          assert(buf.next_present[slot]);
+          account(buf.next[slot].bit_size(),
+                  std::uint64_t{slot} * 2 + key_bit);
+        }
       }
       stats_.slots_processed += dirty.size();
       ++stats_.sparse_account_passes;
@@ -614,6 +932,10 @@ class Engine {
     }
     ++stats_.dense_account_passes;
     stats_.slots_processed += links;
+    if (epoch_layout_) {
+      account_dense_epoch(buf, key_bit, links);
+      return;
+    }
     const std::uint8_t* present = buf.next_present.data();
     std::size_t slot = 0;
     for (; slot + 8 <= links; slot += 8) {
@@ -622,12 +944,67 @@ class Engine {
       if (word == 0) continue;
       for (std::size_t k = 0; k < 8; ++k) {
         if (present[slot + k]) {
-          account(buf.next[slot + k].bit_size(), (slot + k) * 2 + key_bit);
+          account(buf.next[slot + k].bit_size(),
+                  std::uint64_t{slot + k} * 2 + key_bit);
         }
       }
     }
     for (; slot < links; ++slot) {
-      if (present[slot]) account(buf.next[slot].bit_size(), slot * 2 + key_bit);
+      if (present[slot]) {
+        account(buf.next[slot].bit_size(), std::uint64_t{slot} * 2 + key_bit);
+      }
+    }
+  }
+
+  /// Saturated-round accounting over the metadata lane, blocked into
+  /// L1-sized chunks: phase 1 of each chunk is a pure branch-free
+  /// reduction over the contiguous words (messages, bits, max,
+  /// violations — vectorizable, no payload loads); phase 2 folds the
+  /// transcript hash over the same — now cache-hot — chunk, visiting
+  /// present slots in the same ascending order the per-slot account()
+  /// calls would have used, so the hash is bit-identical to the legacy
+  /// path while the lane is traversed from memory only once.
+  template <class M>
+  void account_dense_epoch(detail::Mailbox<M>& buf, std::uint64_t key_bit,
+                           std::size_t links) {
+    constexpr std::size_t kChunk = 4096;  // 32 KiB of metadata per block
+    const std::uint64_t* meta = buf.next_meta.data();
+    const std::uint32_t epoch = buf.next_epoch;
+    const std::uint32_t limit = stats_.bandwidth_limit_bits;
+    std::uint64_t messages = 0, total_bits = 0, violations = 0;
+    std::uint32_t max_bits = 0;
+    std::uint64_t hash = stats_.transcript_hash;
+    const std::uint64_t round_key = std::uint64_t{round_} << 40;
+    for (std::size_t base = 0; base < links; base += kChunk) {
+      const std::size_t end = std::min(base + kChunk, links);
+      for (std::size_t s = base; s < end; ++s) {
+        const std::uint64_t w = meta[s];
+        const bool present = static_cast<std::uint32_t>(w) == epoch;
+        const std::uint32_t b =
+            present ? static_cast<std::uint32_t>(w >> 32) : 0;
+        messages += present;
+        total_bits += b;
+        max_bits = b > max_bits ? b : max_bits;
+        violations += b > limit;
+      }
+      for (std::size_t s = base; s < end; ++s) {
+        const std::uint64_t w = meta[s];
+        if (static_cast<std::uint32_t>(w) != epoch) continue;
+        hash = detail::mix_hash(
+            hash,
+            round_key ^ ((std::uint64_t{s} * 2 + key_bit) << 8) ^ (w >> 32));
+      }
+    }
+    stats_.transcript_hash = hash;
+    stats_.total_messages += messages;
+    stats_.total_bits += total_bits;
+    if (max_bits > stats_.max_message_bits) stats_.max_message_bits = max_bits;
+    stats_.bandwidth_violations += violations;
+    if (options_.keep_round_stats) {
+      auto& rs = stats_.per_round.back();
+      rs.messages += messages;
+      rs.bits += total_bits;
+      if (max_bits > rs.max_message_bits) rs.max_message_bits = max_bits;
     }
   }
 
@@ -636,24 +1013,44 @@ class Engine {
     account_links(to_vertex_, 1);
   }
 
-  /// Advances the double buffer and wipes the retired side's present
-  /// flags. Under active scheduling the retired side's dirty list is a
-  /// complete record of its set flags, so a sparse round clears only
-  /// those slots instead of memsetting the whole array.
+  /// Advances the double buffer and empties the retired side. Under the
+  /// epoch-arena layout that is one epoch increment — no slot is ever
+  /// written to clear it, dense or sparse. Under the legacy layout the
+  /// retired side's present bytes are wiped: a targeted sparse wipe when
+  /// its dirty list is a complete record, a full memset otherwise.
   template <class M>
-  void swap_and_clear(detail::LinkBuffer<M>& buf) {
+  void swap_and_clear(detail::Mailbox<M>& buf) {
     buf.current.swap(buf.next);
+    if (epoch_layout_) {
+      buf.current_meta.swap(buf.next_meta);
+      std::swap(buf.current_epoch, buf.next_epoch);
+      // The retired buffer (now `next`) is emptied by advancing its
+      // epoch; stale stamps can only collide after a full uint32 wrap,
+      // at which point the metadata is re-zeroed once.
+      if (++buf.next_epoch == 0) {
+        std::fill(buf.next_meta.begin(), buf.next_meta.end(), 0);
+        buf.next_epoch = 1;
+      }
+      buf.next_dirty.clear();
+      buf.next_tracked = true;
+      ++stats_.epoch_clear_passes;
+      return;
+    }
     buf.current_present.swap(buf.next_present);
     buf.current_dirty.swap(buf.next_dirty);
     std::swap(buf.current_tracked, buf.next_tracked);
     auto& dirty = buf.next_dirty;  // the slots set in the retired buffer
     const std::size_t links = buf.next_present.size();
     if (buf.next_tracked && dirty.size() * kSparseFactor < links) {
-      for (const std::size_t slot : dirty) buf.next_present[slot] = 0;
+      for (const std::uint32_t slot : dirty) buf.next_present[slot] = 0;
       stats_.slots_processed += dirty.size();
+      stats_.clear_slots += dirty.size();
+      ++stats_.sparse_clear_passes;
     } else {
       std::fill(buf.next_present.begin(), buf.next_present.end(), 0);
       stats_.slots_processed += links;
+      stats_.clear_slots += links;
+      ++stats_.dense_clear_passes;
     }
     dirty.clear();
     buf.next_tracked = true;  // the buffer is now empty; the next round's
@@ -678,16 +1075,17 @@ class Engine {
 
   const hg::Hypergraph* graph_;
   Options options_;
+  const bool epoch_layout_;
   std::uint32_t round_ = 0;
   RunStats stats_;
   std::vector<VertexAgent> vertex_agents_;
   std::vector<EdgeAgent> edge_agents_;
-  detail::LinkBuffer<VertexMsg> to_edge_;
-  detail::LinkBuffer<EdgeMsg> to_vertex_;
+  detail::Mailbox<VertexMsg> to_edge_;
+  detail::Mailbox<EdgeMsg> to_vertex_;
   std::vector<std::size_t> vertex_slot_base_;  // CSR bases, size n+1
   std::vector<std::size_t> edge_slot_base_;    // size m+1
-  std::vector<std::size_t> v_send_slot_;       // (v,k) -> edge-side slot
-  std::vector<std::size_t> e_send_slot_;       // (e,j) -> vertex-side slot
+  std::vector<std::uint32_t> v_send_slot_;     // (v,k) -> edge-side slot
+  std::vector<std::uint32_t> e_send_slot_;     // (e,j) -> vertex-side slot
   ThreadPool* pool_ = nullptr;                 // null when single-threaded
   std::unique_ptr<ThreadPool> owned_pool_;     // empty in external-pool mode
   std::vector<std::uint32_t> vertex_shards_;   // shard bounds, size shards+1
@@ -695,6 +1093,7 @@ class Engine {
   std::vector<detail::ShardScratch> scratch_;  // per shard, both modes
   std::vector<std::vector<std::uint32_t>> vertex_work_;  // live ids, per shard
   std::vector<std::vector<std::uint32_t>> edge_work_;
+  std::vector<std::size_t> merge_cursor_;  // multi-way merge scratch
   bool frontier_built_ = false;
   bool recording_ = false;       // this round records dirty slots
   std::size_t live_agents_ = 0;  // maintained at worklist compaction

@@ -13,7 +13,15 @@ std::ostream& operator<<(std::ostream& os, const RunStats& s) {
             << " steps=" << s.agent_steps << "/" << s.agents_visited
             << " slots=" << s.slots_processed
             << " passes=sparse:" << s.sparse_account_passes
-            << "+dense:" << s.dense_account_passes;
+            << "+dense:" << s.dense_account_passes
+            << " clear=" << s.clear_slots << " (sparse:"
+            << s.sparse_clear_passes << "+dense:" << s.dense_clear_passes
+            << "+epoch:" << s.epoch_clear_passes << ")"
+            << " cycles/step="
+            << (s.agent_steps > 0
+                    ? static_cast<double>(s.step_cycles) /
+                          static_cast<double>(s.agent_steps)
+                    : 0.0);
 }
 
 }  // namespace hypercover::congest

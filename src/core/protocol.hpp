@@ -278,9 +278,10 @@ class MwhvcVertexAgent {
   // Phase C: fold Covered/Halved (3b/3c/3d), decide raise/stuck (3e).
   template <class Ctx>
   void phase_c(Ctx& ctx) {
+    const auto in = ctx.inbox();
     for (std::uint32_t k = 0; k < degree_; ++k) {
       if (!active_[k]) continue;
-      const EdgeToVertexMsg* msg = ctx.message_from(k);
+      const EdgeToVertexMsg* msg = in.get(k);
       if (msg == nullptr) continue;  // never happens for active edges
       if (msg->tag == ETag::kCovered) {
         active_[k] = 0;  // step 3c: E'(v) <- E'(v) \ {e}; δ(e) stays frozen
@@ -318,8 +319,9 @@ class MwhvcVertexAgent {
 
   template <class Ctx>
   void fold_init_replies(Ctx& ctx) {
+    const auto in = ctx.inbox();
     for (std::uint32_t k = 0; k < degree_; ++k) {
-      const EdgeToVertexMsg* msg = ctx.message_from(k);
+      const EdgeToVertexMsg* msg = in.get(k);
       // Every edge replies in round 1.
       bid_[k] = 0.5 * static_cast<double>(msg->min_weight) /
                 static_cast<double>(msg->min_degree);
@@ -331,9 +333,10 @@ class MwhvcVertexAgent {
 
   template <class Ctx>
   void fold_results(Ctx& ctx) {
+    const auto in = ctx.inbox();
     for (std::uint32_t k = 0; k < degree_; ++k) {
       if (!active_[k]) continue;
-      const EdgeToVertexMsg* msg = ctx.message_from(k);
+      const EdgeToVertexMsg* msg = in.get(k);
       if (msg->raised != 0) bid_[k] *= alpha_[k];
       sum_delta_ += cfg_->appendix_c ? 0.5 * bid_[k] : bid_[k];
     }
@@ -412,8 +415,9 @@ class MwhvcEdgeAgent {
     std::uint32_t best_d = 1;
     std::uint32_t local_delta = 0;
     bool first = true;
+    const auto in = ctx.inbox();
     for (std::uint32_t j = 0; j < size_; ++j) {
-      const VertexToEdgeMsg* msg = ctx.message_from(j);
+      const VertexToEdgeMsg* msg = in.get(j);
       if (local_delta < msg->degree) local_delta = msg->degree;
       const bool better =
           first || static_cast<double>(msg->weight) * best_d <
@@ -440,8 +444,9 @@ class MwhvcEdgeAgent {
   void phase_b(Ctx& ctx) {
     std::uint32_t halvings = 0;
     bool now_covered = false;
+    const auto in = ctx.inbox();
     for (std::uint32_t j = 0; j < size_; ++j) {
-      const VertexToEdgeMsg* msg = ctx.message_from(j);
+      const VertexToEdgeMsg* msg = in.get(j);
       if (msg->tag == VTag::kCovered) {
         now_covered = true;
       } else {
@@ -472,8 +477,9 @@ class MwhvcEdgeAgent {
   template <class Ctx>
   void phase_d(Ctx& ctx) {
     bool all_raise = true;
+    const auto in = ctx.inbox();
     for (std::uint32_t j = 0; j < size_; ++j) {
-      const VertexToEdgeMsg* msg = ctx.message_from(j);
+      const VertexToEdgeMsg* msg = in.get(j);
       if (msg->tag != VTag::kRaise) all_raise = false;
     }
     if (all_raise) {

@@ -215,8 +215,9 @@ struct SimVarAgent {
   // Phase C: fold coverage + halvings, decide raise/stuck.
   template <class Ctx>
   void phase_c(Ctx& ctx) {
+    const auto in = ctx.inbox();
     for (std::uint32_t c = 0; c < num_cons; ++c) {
-      const ConsMsg* m = ctx.message_from(c);
+      const ConsMsg* m = in.get(c);
       if (m == nullptr) continue;  // constraint finished earlier
       for (auto& cl : sim[c]) {
         if (cl.covered) continue;
@@ -248,8 +249,9 @@ struct SimVarAgent {
 
   template <class Ctx>
   void fold_init(Ctx& ctx) {
+    const auto in = ctx.inbox();
     for (std::uint32_t c = 0; c < num_cons; ++c) {
-      const ConsMsg* m = ctx.message_from(c);
+      const ConsMsg* m = in.get(c);
       for (auto& cl : sim[c]) {
         // bid0 = 0.5 w(v*)/hdeg(v*) over the clause's members, first
         // strictly-better scan in row order (= H member order).
@@ -283,8 +285,9 @@ struct SimVarAgent {
 
   template <class Ctx>
   void fold_raise_masks(Ctx& ctx) {
+    const auto in = ctx.inbox();
     for (std::uint32_t c = 0; c < num_cons; ++c) {
-      const ConsMsg* m = ctx.message_from(c);
+      const ConsMsg* m = in.get(c);
       if (m == nullptr) continue;
       for (auto& cl : sim[c]) {
         if (cl.covered) continue;
@@ -369,8 +372,9 @@ struct SimConsAgent {
     ConsMsg m;
     m.tag = CTag::kInit;
     m.count = static_cast<std::uint8_t>(support);
+    const auto in = ctx.inbox();
     for (std::uint32_t t = 0; t < support; ++t) {
-      const VarMsg* vm = ctx.message_from(t);
+      const VarMsg* vm = in.get(t);
       // A member in no clause halts at round 0 but still sent its init.
       m.weights[t] = vm != nullptr ? vm->weight : 1;
       m.hdegrees[t] = vm != nullptr ? vm->hdegree : 1;
@@ -383,8 +387,9 @@ struct SimConsAgent {
     ConsMsg m;
     m.tag = CTag::kPhaseB;
     m.count = static_cast<std::uint8_t>(support);
+    const auto in = ctx.inbox();
     for (std::uint32_t t = 0; t < support; ++t) {
-      const VarMsg* vm = ctx.message_from(t);
+      const VarMsg* vm = in.get(t);
       if (vm == nullptr) continue;  // member retired: none of its clauses live
       if (vm->tag == VTag::kCovered) m.covered_mask |= 1u << t;
       if (vm->tag == VTag::kStep && vm->leveled) m.level_mask |= 1u << t;
@@ -407,8 +412,9 @@ struct SimConsAgent {
     ConsMsg m;
     m.tag = CTag::kPhaseD;
     m.count = static_cast<std::uint8_t>(support);
+    const auto in = ctx.inbox();
     for (std::uint32_t t = 0; t < support; ++t) {
-      const VarMsg* vm = ctx.message_from(t);
+      const VarMsg* vm = in.get(t);
       if (vm != nullptr && vm->tag == VTag::kRaise) m.raise_mask |= 1u << t;
     }
     broadcast_live(ctx, m);

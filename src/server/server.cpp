@@ -52,6 +52,12 @@ struct SolveServer::Impl {
   // Serving counters (wire.hpp ServerStats).
   std::atomic<std::uint64_t> connections{0}, requests{0}, solves{0},
       busy_rejections{0}, protocol_errors{0};
+  // Cumulative engine work, summed from each cold solve's RunStats
+  // (cache hits ran no engine and contribute nothing).
+  std::atomic<std::uint64_t> engine_rounds{0}, engine_agent_steps{0},
+      engine_step_cycles{0}, engine_slots_processed{0}, engine_clear_slots{0},
+      engine_sparse_clear_passes{0}, engine_dense_clear_passes{0},
+      engine_epoch_clear_passes{0};
   // Admission state: dispatched-but-unfinished jobs and the graph bytes
   // they hold. Updated with a mutex (two quantities must move together
   // and be compared against two limits atomically).
@@ -109,6 +115,18 @@ struct SolveServer::Impl {
     s.cache_entries = cache.size();
     s.pool_threads = scheduler.pool().size();
     s.max_inflight = opts.max_inflight;
+    s.engine_rounds = engine_rounds.load(std::memory_order_relaxed);
+    s.engine_agent_steps = engine_agent_steps.load(std::memory_order_relaxed);
+    s.engine_step_cycles = engine_step_cycles.load(std::memory_order_relaxed);
+    s.engine_slots_processed =
+        engine_slots_processed.load(std::memory_order_relaxed);
+    s.engine_clear_slots = engine_clear_slots.load(std::memory_order_relaxed);
+    s.engine_sparse_clear_passes =
+        engine_sparse_clear_passes.load(std::memory_order_relaxed);
+    s.engine_dense_clear_passes =
+        engine_dense_clear_passes.load(std::memory_order_relaxed);
+    s.engine_epoch_clear_passes =
+        engine_epoch_clear_passes.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -305,6 +323,19 @@ struct SolveServer::Impl {
       return;
     }
     release(state.text_bytes);
+    const congest::RunStats& net = sol.net;
+    engine_rounds.fetch_add(net.rounds, std::memory_order_relaxed);
+    engine_agent_steps.fetch_add(net.agent_steps, std::memory_order_relaxed);
+    engine_step_cycles.fetch_add(net.step_cycles, std::memory_order_relaxed);
+    engine_slots_processed.fetch_add(net.slots_processed,
+                                     std::memory_order_relaxed);
+    engine_clear_slots.fetch_add(net.clear_slots, std::memory_order_relaxed);
+    engine_sparse_clear_passes.fetch_add(net.sparse_clear_passes,
+                                         std::memory_order_relaxed);
+    engine_dense_clear_passes.fetch_add(net.dense_clear_passes,
+                                        std::memory_order_relaxed);
+    engine_epoch_clear_passes.fetch_add(net.epoch_clear_passes,
+                                        std::memory_order_relaxed);
     auto shared = std::make_shared<const api::Solution>(std::move(sol));
     cache.insert(key, shared);
     PayloadWriter w;

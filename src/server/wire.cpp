@@ -274,6 +274,14 @@ void encode_stats(PayloadWriter& w, const ServerStats& s) {
   w.u64(s.cache_entries);
   w.u32(s.pool_threads);
   w.u32(s.max_inflight);
+  w.u64(s.engine_rounds);
+  w.u64(s.engine_agent_steps);
+  w.u64(s.engine_step_cycles);
+  w.u64(s.engine_slots_processed);
+  w.u64(s.engine_clear_slots);
+  w.u64(s.engine_sparse_clear_passes);
+  w.u64(s.engine_dense_clear_passes);
+  w.u64(s.engine_epoch_clear_passes);
 }
 
 ServerStats decode_stats(PayloadReader& r) {
@@ -291,6 +299,14 @@ ServerStats decode_stats(PayloadReader& r) {
   s.cache_entries = r.u64();
   s.pool_threads = r.u32();
   s.max_inflight = r.u32();
+  s.engine_rounds = r.u64();
+  s.engine_agent_steps = r.u64();
+  s.engine_step_cycles = r.u64();
+  s.engine_slots_processed = r.u64();
+  s.engine_clear_slots = r.u64();
+  s.engine_sparse_clear_passes = r.u64();
+  s.engine_dense_clear_passes = r.u64();
+  s.engine_epoch_clear_passes = r.u64();
   return s;
 }
 

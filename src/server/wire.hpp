@@ -35,8 +35,10 @@
 namespace hypercover::server {
 
 /// v2 added SubmitGraphBinary (hgb buffers inline or by-path) and the
-/// cache_evictions stats counter.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// cache_evictions stats counter. v3 extends StatsReply with the
+/// cumulative engine work counters (rounds, agent steps, step cycles,
+/// clearing decisions) accumulated over cold solves.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Default cap on one frame's payload. Admission control can lower the
 /// effective graph size well below this; the cap exists so a garbage
@@ -200,6 +202,19 @@ struct ServerStats {
   std::uint64_t cache_entries = 0;
   std::uint32_t pool_threads = 0;
   std::uint32_t max_inflight = 0;
+  // Cumulative engine work across cold solves (cache hits ran no engine),
+  // summed from each Solution's RunStats (protocol v3). engine_step_cycles
+  // over engine_agent_steps is the server's cycles-per-agent-step;
+  // engine_clear_slots stays 0 while the epoch-arena mailbox layout is in
+  // use (presence clearing writes no slots there).
+  std::uint64_t engine_rounds = 0;
+  std::uint64_t engine_agent_steps = 0;
+  std::uint64_t engine_step_cycles = 0;
+  std::uint64_t engine_slots_processed = 0;
+  std::uint64_t engine_clear_slots = 0;
+  std::uint64_t engine_sparse_clear_passes = 0;
+  std::uint64_t engine_dense_clear_passes = 0;
+  std::uint64_t engine_epoch_clear_passes = 0;
 };
 
 void encode_stats(PayloadWriter& w, const ServerStats& s);

@@ -1,0 +1,411 @@
+// Equivalence and golden-digest tests for the mailbox memory layouts:
+// MailboxLayout::kEpochArena (packed epoch-stamp + bit-size metadata
+// lane, O(1) clearing, per-shard sorted dirty runs) must be invisible to
+// every protocol — bit-identical transcripts, covers, and duals against
+// MailboxLayout::kLegacyBytes at every thread count and scheduling mode.
+//
+// The golden table below was captured from the pre-arena engine (byte
+// presence, global sort, payload-side bit sizes) and locks both layouts
+// to the historical transcripts: a layout change that reorders or drops
+// a single message fails 30 rows at once.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "congest/engine.hpp"
+#include "core/mwhvc.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/weights.hpp"
+#include "util/math.hpp"
+
+namespace hypercover {
+namespace {
+
+using congest::MailboxLayout;
+using congest::Scheduling;
+
+// --- golden digests against the pre-arena engine ---------------------------
+
+/// Folds a solution into one word the same way the capture program did:
+/// transcript, cover weight, cover bitmap, then raw dual bits.
+std::uint64_t result_digest(const api::Solution& s) {
+  std::uint64_t h = s.net.transcript_hash;
+  h = util::mix64(h, static_cast<std::uint64_t>(s.cover_weight));
+  for (const bool b : s.in_cover) h = util::mix64(h, b ? 1 : 0);
+  for (const double d : s.duals) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    h = util::mix64(h, bits);
+  }
+  return h;
+}
+
+struct GoldenRow {
+  const char* family;
+  const char* algo;
+  std::uint64_t transcript;
+  std::uint64_t digest;
+};
+
+// Captured from main before the epoch-arena layout landed (eps = 0.5,
+// default options). The sequential baselines (greedy, local-ratio) never
+// enter the engine, so their transcript is 0 but their digest still locks
+// cover + duals.
+constexpr GoldenRow kGolden[] = {
+    {"random_uniform", "mwhvc", 0x426fe00900c20e96ull, 0x6f868c76c8960f42ull},
+    {"random_uniform", "mwhvc-apxc", 0x35480e00c53a5a24ull,
+     0xeb3f1862c4e7d811ull},
+    {"random_uniform", "kmw", 0x797bab1de3bf7a0eull, 0x7a8cfcf932ff7741ull},
+    {"random_uniform", "kvy", 0x2caf89ca4fb1dfabull, 0x1e9b842b963281d4ull},
+    {"random_uniform", "greedy", 0x0000000000000000ull, 0xe7c75e98faa2dc5full},
+    {"random_uniform", "local-ratio", 0x0000000000000000ull,
+     0xcf835f795e6bccefull},
+    {"bounded_degree", "mwhvc", 0x74400653c6d76437ull, 0xda8f6c81deae96ceull},
+    {"bounded_degree", "mwhvc-apxc", 0x93d4d5e03d06e690ull,
+     0xba4a8d8325f860ccull},
+    {"bounded_degree", "kmw", 0xb42539270cc7eec4ull, 0xfde2d5bc54d50567ull},
+    {"bounded_degree", "kvy", 0xd56bdcd3bc426adeull, 0xb598d4efa2ac39fcull},
+    {"bounded_degree", "greedy", 0x0000000000000000ull, 0xa70cfcc07dd56d9full},
+    {"bounded_degree", "local-ratio", 0x0000000000000000ull,
+     0x34e0f7a07babc32dull},
+    {"hyper_star", "mwhvc", 0x68669a86e00d8917ull, 0x49c89d58f3a22b20ull},
+    {"hyper_star", "mwhvc-apxc", 0xf886c61f276b161aull, 0x182da5632692aa31ull},
+    {"hyper_star", "kmw", 0xb6eed915cf62132bull, 0xda267e7a85c88302ull},
+    {"hyper_star", "kvy", 0x22798c81a5457ec5ull, 0x8834839599d3032dull},
+    {"hyper_star", "greedy", 0x0000000000000000ull, 0xd17d7b7b318abecbull},
+    {"hyper_star", "local-ratio", 0x0000000000000000ull,
+     0x7c878813c1092b62ull},
+    {"gnp", "mwhvc", 0x358783f9dc0c7551ull, 0xf850949f8eba044bull},
+    {"gnp", "mwhvc-apxc", 0x8103efcdce59a2bbull, 0x1a9905b606b1acb1ull},
+    {"gnp", "kmw", 0x84cd1f0561dda51dull, 0xd1f273cff58ffa4aull},
+    {"gnp", "kvy", 0x7cad6c810d14e886ull, 0x0cdc8ca77264aa08ull},
+    {"gnp", "greedy", 0x0000000000000000ull, 0xc1a9598aaae07c2cull},
+    {"gnp", "local-ratio", 0x0000000000000000ull, 0xb8f1901a8baea687ull},
+    {"isolated", "mwhvc", 0xa30f5b618fbbb259ull, 0x96de3a9059c7ae20ull},
+    {"isolated", "mwhvc-apxc", 0xff7160191a9a493dull, 0x6936c0bba905848eull},
+    {"isolated", "kmw", 0xdb73010498de8b21ull, 0xb7f2d1c9e565c897ull},
+    {"isolated", "kvy", 0x628ee2b2df888be6ull, 0x2a8b0158e79c7ac8ull},
+    {"isolated", "greedy", 0x0000000000000000ull, 0xb83522a0215c7207ull},
+    {"isolated", "local-ratio", 0x0000000000000000ull,
+     0x2d149a6c6c0bd2e3ull},
+};
+
+struct Family {
+  const char* name;
+  hg::Hypergraph graph;
+};
+
+std::vector<Family> golden_families() {
+  hg::Builder isolated;
+  isolated.add_vertices(12, 5);
+  isolated.add_edge({0, 3, 7});
+  isolated.add_edge({1, 3});
+  isolated.add_edge({7, 9});
+  std::vector<Family> fams;
+  fams.push_back({"random_uniform", hg::random_uniform(150, 320, 3,
+                                                       hg::exponential_weights(
+                                                           10),
+                                                       21)});
+  fams.push_back({"bounded_degree",
+                  hg::random_bounded_degree(200, 340, 4, 8,
+                                            hg::uniform_weights(99), 22)});
+  fams.push_back({"hyper_star",
+                  hg::hyper_star(48, 3, hg::uniform_weights(17), 23)});
+  fams.push_back({"gnp", hg::gnp(64, 0.08, hg::uniform_weights(13), 24)});
+  fams.push_back({"isolated", isolated.build()});
+  return fams;
+}
+
+const GoldenRow& golden_row(const char* family, std::string_view algo) {
+  for (const GoldenRow& row : kGolden) {
+    if (algo == row.algo && std::string_view(family) == row.family) return row;
+  }
+  ADD_FAILURE() << "no golden row for " << family << "/" << algo
+                << " — capture one before extending the registry";
+  static GoldenRow missing{"", "", 0, 0};
+  return missing;
+}
+
+TEST(EngineLayoutGolden, EveryAlgorithmMatchesPreArenaDigests) {
+  for (const Family& fam : golden_families()) {
+    for (const api::Solver& solver : api::solvers()) {
+      const GoldenRow& want = golden_row(fam.name, solver.name);
+      for (const MailboxLayout layout :
+           {MailboxLayout::kEpochArena, MailboxLayout::kLegacyBytes}) {
+        SCOPED_TRACE(std::string(fam.name) + "/" + std::string(solver.name) +
+                     (layout == MailboxLayout::kEpochArena ? " epoch"
+                                                           : " legacy"));
+        api::SolveRequest req;
+        req.eps = 0.5;
+        req.engine.layout = layout;
+        const api::Solution sol = api::solve(solver.name, fam.graph, req);
+        EXPECT_EQ(sol.net.transcript_hash, want.transcript);
+        EXPECT_EQ(result_digest(sol), want.digest);
+      }
+    }
+  }
+}
+
+// --- MWHVC layout lock-step ------------------------------------------------
+
+void expect_bit_identical(const core::MwhvcResult& a,
+                          const core::MwhvcResult& b) {
+  EXPECT_EQ(a.net.transcript_hash, b.net.transcript_hash);
+  EXPECT_EQ(a.net.total_messages, b.net.total_messages);
+  EXPECT_EQ(a.net.total_bits, b.net.total_bits);
+  EXPECT_EQ(a.net.rounds, b.net.rounds);
+  EXPECT_EQ(a.net.completed, b.net.completed);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.in_cover, b.in_cover);
+  EXPECT_EQ(a.cover_weight, b.cover_weight);
+  ASSERT_EQ(a.duals.size(), b.duals.size());
+  for (std::size_t e = 0; e < a.duals.size(); ++e) {
+    EXPECT_EQ(std::memcmp(&a.duals[e], &b.duals[e], sizeof(double)), 0)
+        << "dual " << e << " differs bitwise";
+  }
+}
+
+TEST(EngineLayout, MwhvcLockStepOldVsNewAcrossThreads) {
+  const auto g =
+      hg::random_uniform(150, 320, 3, hg::exponential_weights(10), 21);
+  core::MwhvcOptions ref_opts;
+  ref_opts.eps = 0.25;
+  ref_opts.engine.layout = MailboxLayout::kLegacyBytes;
+  for (const Scheduling sched : {Scheduling::kDense, Scheduling::kActive}) {
+    for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE(std::string(sched == Scheduling::kDense ? "dense"
+                                                           : "active") +
+                   " threads=" + std::to_string(threads));
+      core::MwhvcOptions legacy_opts = ref_opts;
+      legacy_opts.engine.scheduling = sched;
+      legacy_opts.engine.threads = threads;
+      core::MwhvcOptions epoch_opts = legacy_opts;
+      epoch_opts.engine.layout = MailboxLayout::kEpochArena;
+      core::MwhvcRun legacy(g, legacy_opts);
+      core::MwhvcRun epoch(g, epoch_opts);
+      while (!legacy.done() &&
+             legacy.rounds() < legacy_opts.engine.max_rounds) {
+        legacy.step_round();
+        epoch.step_round();
+        ASSERT_EQ(epoch.stats().transcript_hash,
+                  legacy.stats().transcript_hash)
+            << "layouts diverged at round " << legacy.rounds();
+        ASSERT_EQ(epoch.stats().total_messages,
+                  legacy.stats().total_messages);
+      }
+      EXPECT_TRUE(epoch.done());
+      expect_bit_identical(epoch.finish_result(), legacy.finish_result());
+    }
+  }
+}
+
+// --- Oscillating saturated <-> sparse protocol -----------------------------
+//
+// Three rounds of all-agents broadcast (saturated: dense accounting, full
+// memset clears under the legacy layout), then the chorus (15/16 of the
+// vertices) halts and a beacon minority oscillates: every beacon sends on
+// even rounds, only every fourth beacon on odd rounds. Edges echo while
+// they keep hearing something and retire after two silent rounds. The
+// engine therefore flips between dense and sparse accounting — and, under
+// the legacy layout, between memset and targeted wipes — for the rest of
+// the run, which is exactly the regime the epoch stamps must survive with
+// a bit-identical transcript.
+
+struct OscMsg {
+  std::uint64_t value = 0;
+  [[nodiscard]] std::uint32_t bit_size() const {
+    return util::bit_width_or_one(value);
+  }
+};
+
+struct OscVertex {
+  std::uint64_t acc = 1;
+  bool halted_flag = false;
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    const auto in = ctx.inbox();
+    for (std::uint32_t k = 0; k < in.size(); ++k) {
+      if (const OscMsg* m = in.get(k)) acc += m->value * (k + 1);
+    }
+    const std::uint32_t r = ctx.round();
+    if (r < 3) {  // saturated prefix: everyone talks
+      ctx.broadcast(OscMsg{acc + ctx.id()});
+      return;
+    }
+    if (ctx.id() % 16 != 0) {  // chorus retires after the prefix
+      halted_flag = true;
+      return;
+    }
+    if (r >= 19) {  // beacons retire last
+      halted_flag = true;
+      return;
+    }
+    if (r % 2 == 0 || ctx.id() % 64 == 0) {  // oscillating beacon duty
+      ctx.broadcast(OscMsg{acc ^ (std::uint64_t{r} << 8)});
+    }
+  }
+  [[nodiscard]] bool halted() const { return halted_flag; }
+};
+
+struct OscEdge {
+  std::uint64_t acc = 2;
+  std::uint32_t silent_rounds = 0;
+  bool halted_flag = false;
+  template <class Ctx>
+  void step(Ctx& ctx) {
+    bool heard = false;
+    for (const auto entry : ctx.inbox()) {  // present-only iteration
+      acc ^= entry.msg->value * (entry.local + 1);
+      heard = true;
+    }
+    if (heard) {
+      silent_rounds = 0;
+      ctx.broadcast(OscMsg{acc});
+      return;
+    }
+    if (ctx.round() >= 5 && ++silent_rounds >= 2) halted_flag = true;
+  }
+  [[nodiscard]] bool halted() const { return halted_flag; }
+};
+
+struct OscProtocol {
+  using VertexMsg = OscMsg;
+  using EdgeMsg = OscMsg;
+  using VertexAgent = OscVertex;
+  using EdgeAgent = OscEdge;
+};
+
+using OscEngine = congest::Engine<OscProtocol>;
+
+congest::Options osc_options(Scheduling sched, MailboxLayout layout,
+                             std::uint32_t threads) {
+  congest::Options opt;
+  opt.scheduling = sched;
+  opt.layout = layout;
+  opt.threads = threads;
+  return opt;
+}
+
+TEST(EngineLayout, OscillatingProtocolLockStepAcrossEverything) {
+  const auto g =
+      hg::random_uniform(192, 400, 3, hg::exponential_weights(9), 41);
+  OscEngine reference(
+      g, osc_options(Scheduling::kDense, MailboxLayout::kLegacyBytes, 1));
+  std::vector<std::unique_ptr<OscEngine>> variants;
+  std::vector<std::string> labels;
+  for (const Scheduling sched : {Scheduling::kDense, Scheduling::kActive}) {
+    for (const MailboxLayout layout :
+         {MailboxLayout::kEpochArena, MailboxLayout::kLegacyBytes}) {
+      for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+        variants.push_back(
+            std::make_unique<OscEngine>(g, osc_options(sched, layout,
+                                                       threads)));
+        labels.push_back(
+            std::string(sched == Scheduling::kDense ? "dense" : "active") +
+            (layout == MailboxLayout::kEpochArena ? "/epoch" : "/legacy") +
+            "/t" + std::to_string(threads));
+      }
+    }
+  }
+  while (!reference.all_halted()) {
+    reference.step_round();
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      variants[i]->step_round();
+      ASSERT_EQ(variants[i]->stats().transcript_hash,
+                reference.stats().transcript_hash)
+          << labels[i] << " diverged at round " << reference.stats().rounds;
+      ASSERT_EQ(variants[i]->stats().total_messages,
+                reference.stats().total_messages)
+          << labels[i];
+    }
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_TRUE(variants[i]->all_halted()) << labels[i];
+    for (hg::VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(variants[i]->vertex_agent(v).acc,
+                reference.vertex_agent(v).acc)
+          << labels[i] << " vertex " << v;
+    }
+    for (hg::EdgeId e = 0; e < g.num_edges(); ++e) {
+      ASSERT_EQ(variants[i]->edge_agent(e).acc, reference.edge_agent(e).acc)
+          << labels[i] << " edge " << e;
+    }
+  }
+}
+
+TEST(EngineLayout, OscillationExercisesBothAccountingAndClearPaths) {
+  const auto g =
+      hg::random_uniform(192, 400, 3, hg::exponential_weights(9), 41);
+  OscEngine epoch(
+      g, osc_options(Scheduling::kActive, MailboxLayout::kEpochArena, 1));
+  OscEngine legacy(
+      g, osc_options(Scheduling::kActive, MailboxLayout::kLegacyBytes, 1));
+  const auto se = epoch.run();
+  const auto sl = legacy.run();
+  EXPECT_EQ(se.transcript_hash, sl.transcript_hash);
+  // The protocol's density oscillation reached both accounting paths.
+  EXPECT_GT(se.dense_account_passes, 0u);
+  EXPECT_GT(se.sparse_account_passes, 0u);
+  EXPECT_GT(sl.dense_clear_passes, 0u);
+  EXPECT_GT(sl.sparse_clear_passes, 0u);
+  // Epoch retirement never writes a slot to clear it; the legacy layout
+  // pays a wipe for every message it ever parked.
+  EXPECT_EQ(se.clear_slots, 0u);
+  EXPECT_GT(se.epoch_clear_passes, 0u);
+  EXPECT_EQ(sl.epoch_clear_passes, 0u);
+  EXPECT_GT(sl.clear_slots, 0u);
+  EXPECT_LT(se.clear_slots, sl.clear_slots);
+  EXPECT_LT(se.slots_processed, sl.slots_processed);
+}
+
+// --- epoch wrap ------------------------------------------------------------
+
+TEST(EngineLayout, EpochWrapIsTransparent) {
+  const auto g =
+      hg::random_uniform(96, 200, 3, hg::exponential_weights(9), 43);
+  OscEngine normal(
+      g, osc_options(Scheduling::kActive, MailboxLayout::kEpochArena, 2));
+  OscEngine wrapping(
+      g, osc_options(Scheduling::kActive, MailboxLayout::kEpochArena, 2));
+  // Two retirements away from the uint32 wrap: the metadata lane is
+  // re-zeroed mid-run and stale stamps from before the wrap must never
+  // read as present afterwards.
+  wrapping.debug_set_epochs(0xFFFFFFFEu);
+  const auto a = normal.run();
+  const auto b = wrapping.run();
+  EXPECT_EQ(a.transcript_hash, b.transcript_hash);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_GT(a.rounds, 4u);  // the run actually crossed the wrap point
+}
+
+// --- bounded round memory --------------------------------------------------
+
+TEST(EngineLayout, RunReleasesRoundScratchMemory) {
+  const auto g =
+      hg::random_uniform(192, 400, 3, hg::exponential_weights(9), 41);
+  for (const MailboxLayout layout :
+       {MailboxLayout::kEpochArena, MailboxLayout::kLegacyBytes}) {
+    SCOPED_TRACE(layout == MailboxLayout::kEpochArena ? "epoch" : "legacy");
+    OscEngine eng(g, osc_options(Scheduling::kActive, layout, 4));
+    eng.step_round();
+    eng.step_round();
+    eng.step_round();
+    // Mid-run the dirty lists and worklists hold their CSR-bounded
+    // reservations...
+    EXPECT_GT(eng.scratch_capacity_bytes(), 0u);
+    const auto stats = eng.run();
+    EXPECT_TRUE(stats.completed);
+    // ...and a finished run hands every byte of round scratch back.
+    EXPECT_EQ(eng.scratch_capacity_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hypercover
