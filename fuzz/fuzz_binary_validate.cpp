@@ -1,0 +1,79 @@
+// Fuzz harness for the hgb binary format (hypergraph/binary.*).
+//
+// validate_binary() is the trust boundary of the zero-copy ingestion
+// path: anything it accepts is adopted in place with NO further checks,
+// so acceptance has to mean "indistinguishable from a built graph".
+//
+// Properties enforced:
+//   * validation either succeeds or throws BinaryFormatError — nothing
+//     else, on any byte string;
+//   * an accepted buffer re-encodes byte-identically (hgb is canonical:
+//     one graph, one encoding — no tolerated slack anywhere);
+//   * the copying path (read_binary) and the zero-copy path
+//     (adopt_binary) agree with the validated header and with each
+//     other on the content digest;
+//   * cross-format differential: the text round-trip of an accepted
+//     graph re-encodes to the very same buffer.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fuzz_check.hpp"
+#include "hypergraph/binary.hpp"
+#include "hypergraph/io.hpp"
+#include "util/digest.hpp"
+
+namespace hg = hypercover::hg;
+namespace util = hypercover::util;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Whole heap allocations are at least 8-aligned, which is what
+  // adopt_binary requires of the buffer start.
+  auto buf = std::make_shared<const std::vector<std::uint8_t>>(data,
+                                                               data + size);
+  hg::HgbInfo info;
+  try {
+    info = hg::validate_binary(*buf);
+  } catch (const hg::BinaryFormatError&) {
+    return 0;  // rejected — the contract for malformed bytes
+  }
+
+  hg::Hypergraph owned;
+  try {
+    owned = hg::read_binary(*buf);
+  } catch (...) {
+    FUZZ_CHECK(false, "validated buffer failed read_binary");
+  }
+  FUZZ_CHECK(owned.num_vertices() == info.n && owned.num_edges() == info.m,
+             "read_binary disagrees with the validated header");
+  FUZZ_CHECK(util::graph_digest(owned) == info.graph_digest,
+             "content digest disagrees with the validated header");
+
+  const std::vector<std::uint8_t> reencoded = hg::write_binary(owned);
+  FUZZ_CHECK(reencoded == *buf,
+             "accepted hgb buffer does not re-encode byte-identically");
+
+  hg::Hypergraph adopted;
+  try {
+    adopted = hg::adopt_binary(*buf, buf);
+  } catch (...) {
+    FUZZ_CHECK(false, "validated buffer failed adopt_binary");
+  }
+  FUZZ_CHECK(util::graph_digest(adopted) == info.graph_digest,
+             "adopted graph digest differs from the owned copy");
+
+  // Differential against the text reader: both parsers must denote the
+  // same graph. Accepted buffers are rare under mutation (the header
+  // digest gates them), so the extra serialization cost is negligible.
+  hg::Hypergraph via_text;
+  try {
+    via_text = hg::from_text(hg::to_text(owned));
+  } catch (...) {
+    FUZZ_CHECK(false, "text round-trip rejected a valid binary graph");
+  }
+  FUZZ_CHECK(hg::write_binary(via_text) == *buf,
+             "text round-trip does not reproduce the binary buffer");
+  return 0;
+}

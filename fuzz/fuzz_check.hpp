@@ -1,0 +1,16 @@
+#pragma once
+// Property-check macro for the fuzz harnesses: a violated property must
+// abort so both libFuzzer and the standalone driver report the crashing
+// input, never an exit code a script could miss.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ PROPERTY VIOLATION: %s (%s:%d)\n", (msg), \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,205 @@
+// Fuzz harness for the frame protocol (server/wire.*).
+//
+// The input is treated as a raw client byte stream: it is pushed through
+// a socketpair into read_frame() — the exact code path a live connection
+// uses, including the recv_all loop and the truncation handling — and
+// every frame that survives framing is fed to its typed decoder.
+//
+// Properties enforced (FUZZ_CHECK aborts on violation):
+//   * framing and every typed decoder either succeed or throw
+//     ProtocolError — no crash, no other exception type, no unbounded
+//     allocation (a corrupt count must fail against remaining() before
+//     storage is sized from it);
+//   * an accepted payload re-encodes canonically: encode(decode(p))
+//     decodes cleanly with no trailing bytes and re-encoding is
+//     idempotent (byte-identical the second time around). Comparing
+//     bytes instead of fields also keeps NaN-carrying doubles honest;
+//   * fixed-shape payloads (Stats, Busy) that consumed their whole
+//     payload round-trip byte-identically.
+
+#include <cstdint>
+#include <string>
+#include <sys/socket.h>
+#include <vector>
+
+#include "fuzz_check.hpp"
+#include "server/socket.hpp"
+#include "server/wire.hpp"
+
+namespace {
+
+namespace server = hypercover::server;
+
+// Keep the whole stream below the socketpair buffer so the single
+// write-then-close below cannot block, and cap per-frame payloads well
+// under the default 64 MiB so a garbage length field costs a rejected
+// frame, not a giant allocation per exec.
+constexpr std::size_t kMaxStream = 60 * 1024;
+constexpr std::uint32_t kFrameCap = 1u << 20;
+
+void check_solve(const std::vector<std::uint8_t>& payload) {
+  std::string algorithm;
+  server::SolveKnobs knobs;
+  {
+    server::PayloadReader r(payload);
+    try {
+      server::decode_solve(r, algorithm, knobs);
+    } catch (const server::ProtocolError&) {
+      return;
+    }
+  }
+  // Unknown flag bits in the input are dropped by decode, so compare the
+  // first re-encode against the second, not against the input.
+  server::PayloadWriter w1;
+  server::encode_solve(w1, algorithm, knobs);
+  const std::vector<std::uint8_t> c1 = w1.take();
+  server::PayloadReader r2(c1);
+  std::string algorithm2;
+  server::SolveKnobs knobs2;
+  try {
+    server::decode_solve(r2, algorithm2, knobs2);
+  } catch (...) {
+    FUZZ_CHECK(false, "canonical Solve payload failed to decode");
+  }
+  FUZZ_CHECK(r2.done(), "canonical Solve re-decode left trailing bytes");
+  server::PayloadWriter w2;
+  server::encode_solve(w2, algorithm2, knobs2);
+  FUZZ_CHECK(w2.take() == c1, "Solve re-encode is not idempotent");
+}
+
+void check_result(const std::vector<std::uint8_t>& payload) {
+  server::WireResult res;
+  {
+    server::PayloadReader r(payload);
+    try {
+      res = server::decode_result(r);
+    } catch (const server::ProtocolError&) {
+      return;
+    }
+  }
+  // The bitmap's unused tail bits are not checked by decode, so the
+  // canonical form can differ from the input; it must be a fixed point.
+  server::PayloadWriter w1;
+  server::encode_result(w1, res);
+  const std::vector<std::uint8_t> c1 = w1.take();
+  server::PayloadReader r2(c1);
+  server::WireResult res2;
+  try {
+    res2 = server::decode_result(r2);
+  } catch (...) {
+    FUZZ_CHECK(false, "canonical Result payload failed to decode");
+  }
+  FUZZ_CHECK(r2.done(), "canonical Result re-decode left trailing bytes");
+  server::PayloadWriter w2;
+  server::encode_result(w2, res2);
+  FUZZ_CHECK(w2.take() == c1, "Result re-encode is not idempotent");
+}
+
+void check_stats(const std::vector<std::uint8_t>& payload) {
+  server::PayloadReader r(payload);
+  server::ServerStats s;
+  try {
+    s = server::decode_stats(r);
+  } catch (const server::ProtocolError&) {
+    return;
+  }
+  server::PayloadWriter w;
+  server::encode_stats(w, s);
+  if (r.done()) {
+    // Fixed-width payload fully consumed: the encoding is exact.
+    FUZZ_CHECK(w.take() == payload, "Stats round-trip changed the bytes");
+  }
+}
+
+void check_busy(const std::vector<std::uint8_t>& payload) {
+  server::PayloadReader r(payload);
+  server::BusyInfo b;
+  try {
+    b = server::decode_busy(r);
+  } catch (const server::ProtocolError&) {
+    return;
+  }
+  server::PayloadWriter w;
+  server::encode_busy(w, b);
+  if (r.done()) {
+    FUZZ_CHECK(w.take() == payload, "Busy round-trip changed the bytes");
+  }
+}
+
+/// The remaining tags carry ad-hoc field sequences; walk them with the
+/// primitive readers so short payloads exercise the bounds checks.
+void check_fields(const std::vector<std::uint8_t>& payload,
+                  server::FrameTag tag) {
+  server::PayloadReader r(payload);
+  try {
+    switch (tag) {
+      case server::FrameTag::kHello:
+        (void)r.u32();
+        break;
+      case server::FrameTag::kHelloOk:
+        (void)r.u32();
+        (void)r.u32();
+        break;
+      case server::FrameTag::kGraphOk:
+        (void)r.u64();
+        (void)r.u32();
+        (void)r.u32();
+        break;
+      case server::FrameTag::kError:
+        (void)r.str();
+        break;
+      case server::FrameTag::kSubmitGraph:
+      case server::FrameTag::kSubmitGraphBinary:
+        (void)r.u8();
+        (void)r.bytes();
+        break;
+      default:
+        break;
+    }
+  } catch (const server::ProtocolError&) {
+    // Short payload — exactly what the reader must turn into this.
+  }
+}
+
+void check_frame(const server::Frame& frame) {
+  switch (frame.tag) {
+    case server::FrameTag::kSolve:
+      check_solve(frame.payload);
+      break;
+    case server::FrameTag::kResult:
+      check_result(frame.payload);
+      break;
+    case server::FrameTag::kStatsReply:
+      check_stats(frame.payload);
+      break;
+    case server::FrameTag::kBusy:
+      check_busy(frame.payload);
+      break;
+    default:
+      check_fields(frame.payload, frame.tag);
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxStream) size = kMaxStream;
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return 0;
+  {
+    server::Socket writer(fds[0]);
+    if (size > 0) writer.send_all(data, size);
+  }  // closing the write end turns the stream tail into EOF
+  server::Socket reader(fds[1]);
+  server::Frame frame;
+  try {
+    while (server::read_frame(reader, frame, kFrameCap)) {
+      check_frame(frame);
+    }
+  } catch (const server::ProtocolError&) {
+    // Truncated / oversized / malformed — the contract for garbage.
+  }
+  return 0;
+}

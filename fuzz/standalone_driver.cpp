@@ -1,0 +1,159 @@
+// Replay/mutation driver for toolchains without libFuzzer (gcc).
+//
+// Linked into each harness instead of -fsanitize=fuzzer. It replays the
+// committed corpus and, with --mutate=N, runs N additional executions on
+// deterministically mutated corpus inputs (splitmix64-driven, so a given
+// --seed reproduces the exact same byte strings on any host). This is
+// NOT a coverage-guided fuzzer — it is the regression/smoke half of the
+// story; deep exploration runs under clang+libFuzzer, and anything found
+// there lands in fuzz/corpus/ where this driver replays it forever.
+//
+// Usage: fuzz_<harness> [file|dir]... [--mutate=N] [--seed=S] [--max-len=B]
+// libFuzzer-style '-flag' arguments are ignored so CI can share command
+// lines between the two driver kinds.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// splitmix64: tiny, seedable, and good enough to steer mutations.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void mutate(std::vector<std::uint8_t>& buf, std::uint64_t& rng,
+            std::size_t max_len) {
+  const std::uint64_t ops = 1 + next_rand(rng) % 4;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    switch (next_rand(rng) % 6) {
+      case 0:  // flip one bit
+        if (!buf.empty()) {
+          buf[next_rand(rng) % buf.size()] ^=
+              static_cast<std::uint8_t>(1u << (next_rand(rng) % 8));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!buf.empty()) {
+          buf[next_rand(rng) % buf.size()] =
+              static_cast<std::uint8_t>(next_rand(rng));
+        }
+        break;
+      case 2:  // insert one byte
+        if (buf.size() < max_len) {
+          buf.insert(buf.begin() +
+                         static_cast<std::ptrdiff_t>(next_rand(rng) %
+                                                     (buf.size() + 1)),
+                     static_cast<std::uint8_t>(next_rand(rng)));
+        }
+        break;
+      case 3:  // erase a short run
+        if (!buf.empty()) {
+          const std::size_t at = next_rand(rng) % buf.size();
+          const std::size_t len =
+              1 + next_rand(rng) % std::min<std::size_t>(16, buf.size() - at);
+          buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                    buf.begin() + static_cast<std::ptrdiff_t>(at + len));
+        }
+        break;
+      case 4:  // truncate
+        if (!buf.empty()) buf.resize(next_rand(rng) % buf.size());
+        break;
+      case 5:  // duplicate a chunk to somewhere else
+        if (!buf.empty() && buf.size() < max_len) {
+          const std::size_t at = next_rand(rng) % buf.size();
+          const std::size_t len =
+              1 + next_rand(rng) % std::min<std::size_t>(32, buf.size() - at);
+          const std::vector<std::uint8_t> chunk(
+              buf.begin() + static_cast<std::ptrdiff_t>(at),
+              buf.begin() + static_cast<std::ptrdiff_t>(at + len));
+          const std::size_t to = next_rand(rng) % (buf.size() + 1);
+          buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(to),
+                     chunk.begin(), chunk.end());
+        }
+        break;
+    }
+  }
+  if (buf.size() > max_len) buf.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  std::uint64_t mutations = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 65536;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutate=", 0) == 0) {
+      mutations = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "standalone driver: ignoring '%s'\n", arg.c_str());
+    } else if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(arg)) {
+      inputs.push_back(arg);
+    } else {
+      std::fprintf(stderr, "standalone driver: no such input: %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(inputs.size());
+  for (const fs::path& path : inputs) {
+    std::vector<std::uint8_t> bytes = read_file(path);
+    if (bytes.size() > max_len) bytes.resize(max_len);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    corpus.push_back(std::move(bytes));
+  }
+  std::fprintf(stderr, "standalone driver: replayed %zu corpus inputs\n",
+               corpus.size());
+
+  if (mutations > 0 && corpus.empty()) {
+    corpus.emplace_back();  // mutate from the empty input
+  }
+  std::uint64_t rng = seed;
+  for (std::uint64_t i = 0; i < mutations; ++i) {
+    std::vector<std::uint8_t> buf = corpus[next_rand(rng) % corpus.size()];
+    mutate(buf, rng, max_len);
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+  if (mutations > 0) {
+    std::fprintf(stderr,
+                 "standalone driver: ran %llu mutated executions (seed %llu)\n",
+                 static_cast<unsigned long long>(mutations),
+                 static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

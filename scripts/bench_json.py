@@ -102,27 +102,215 @@ def summarize(raw):
     return points
 
 
+def check_gates(run_record, prior_runs=(), out=sys.stderr):
+    """Apply every perf gate to one run record; returns True when clean.
+
+    Pure function of the run record (plus prior runs for the cycle-drift
+    gate) so `--self-test` can drive it with synthetic records — the gate
+    logic itself is what the self-test pins down.
+    """
+    ok = True
+    num_cpus = run_record.get("host", {}).get("num_cpus") or 1
+
+    # Gate: on any SparseTail pair present in this run, active must process
+    # >= 5x fewer items per round than dense. A failure exits non-zero so
+    # CI or a pre-merge hook can catch a frontier regression.
+    tails = {}
+    for p in run_record["benchmarks"]:
+        # Names look like BM_SparseTailRounds.../100000/1/manual_time.
+        parts = p["name"].split("/")
+        if "SparseTail" in parts[0] and len(parts) >= 3 \
+                and "items_per_round" in p:
+            tails.setdefault((parts[0], parts[1]), {})[parts[2]] = \
+                p["items_per_round"]
+    for (base, instance), modes in sorted(tails.items()):
+        dense, active = modes.get("0"), modes.get("1")
+        if dense is None or active is None or active <= 0:
+            continue
+        ratio = dense / active
+        status = "ok" if ratio >= 5.0 else "REGRESSION"
+        print(f"{base}/{instance}: dense {dense:.0f} vs active {active:.0f} "
+              f"items/round ({ratio:.1f}x) {status}", file=out)
+        ok = ok and ratio >= 5.0
+
+    # Gate: BatchScheduler throughput vs the sequential loop, in jobs/s.
+    # Names look like BM_BatchThroughputDigestGuard/64/1/real_time; mode 0
+    # is the loop, mode 1 the scheduler. Enforced (>= 1.5x at batch 64)
+    # only when the scheduler actually had >= 2 workers — on a single-CPU
+    # host the two modes tie by construction and the ratio is just
+    # reported.
+    batches = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "BatchThroughput" in parts[0] and len(parts) >= 3 \
+                and "items_per_second" in p:
+            batches.setdefault(parts[1], {})[parts[2]] = p
+    for batch, modes in sorted(batches.items(), key=lambda kv: int(kv[0])):
+        loop, sched = modes.get("0"), modes.get("1")
+        if loop is None or sched is None:
+            continue
+        ratio = sched["items_per_second"] / max(loop["items_per_second"], 1e-9)
+        workers = sched.get("threads", 1)
+        enforced = workers >= 2 and batch == "64"
+        good = ratio >= 1.5 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced:
+            status += " (report-only: single worker)" if workers < 2 else ""
+        print(f"BatchThroughput/{batch}: loop {loop['items_per_second']:.0f} "
+              f"vs scheduler {sched['items_per_second']:.0f} jobs/s "
+              f"({ratio:.2f}x on {workers:.0f} workers) {status}",
+              file=out)
+        ok = ok and good
+
+    # Gate: persistent solve server vs the fork-per-solve CLI loop, in
+    # requests/s. Names look like BM_ServerThroughputDigestGuard/8/1/
+    # real_time; parts[1] is the client concurrency, mode 0 the CLI loop,
+    # mode 1 the server (result cache disabled). Enforced (>= 1.5x at
+    # concurrency 8) only when the server pool had >= 2 workers — on a
+    # single-CPU host the ratio is just reported.
+    servers = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "ServerThroughput" in parts[0] and len(parts) >= 3 \
+                and "items_per_second" in p:
+            servers.setdefault(parts[1], {})[parts[2]] = p
+    for conc, modes in sorted(servers.items(), key=lambda kv: int(kv[0])):
+        loop, served = modes.get("0"), modes.get("1")
+        if loop is None or served is None:
+            continue
+        ratio = served["items_per_second"] / max(loop["items_per_second"],
+                                                 1e-9)
+        workers = served.get("threads", 1)
+        enforced = workers >= 2 and conc == "8"
+        good = ratio >= 1.5 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced and workers < 2:
+            status += " (report-only: single worker)"
+        print(f"ServerThroughput/{conc}: cli-loop "
+              f"{loop['items_per_second']:.0f} vs server "
+              f"{served['items_per_second']:.0f} req/s "
+              f"({ratio:.2f}x, p99 {served.get('p99_ms', 0):.1f} ms) "
+              f"{status}", file=out)
+        ok = ok and good
+
+    # Gate: hgb mmap ingestion vs text parse, in load wall time. Names
+    # look like BM_ParseVsMapDigestGuard/120000/1/real_time; parts[1] is
+    # the instance size n, mode 0 the text parse, mode 1 the mmap +
+    # validate + adopt path. Enforced (>= 10x faster on the LARGEST
+    # instance) on multi-CPU hosts; on a 1-CPU host the ratio is just
+    # reported, consistent with the other gates.
+    loads = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "ParseVsMap" in parts[0] and len(parts) >= 3 \
+                and p.get("real_time"):
+            loads.setdefault(parts[1], {})[parts[2]] = p
+    largest = max((int(n) for n in loads), default=None)
+    for n, modes in sorted(loads.items(), key=lambda kv: int(kv[0])):
+        parse, mapped = modes.get("0"), modes.get("1")
+        if parse is None or mapped is None:
+            continue
+        ratio = parse["real_time"] / max(mapped["real_time"], 1e-9)
+        enforced = int(n) == largest and num_cpus >= 2
+        good = ratio >= 10.0 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced and num_cpus < 2:
+            status += " (report-only: 1 CPU)"
+        print(f"ParseVsMap/{n}: parse {parse['real_time']:.2f} vs mmap "
+              f"{mapped['real_time']:.2f} {parse.get('time_unit', 'ms')} "
+              f"({ratio:.1f}x) {status}", file=out)
+        ok = ok and good
+
+    # Gates: mailbox layout A/B (e15). Names look like
+    # BM_EngineLayoutDigestGuard/100000/1/real_time; parts[1] is the
+    # instance size n, mode 0 the legacy byte-presence layout, mode 1 the
+    # epoch-arena layout. Three checks per pair:
+    #   * wall time: the arena must solve the LARGEST end-to-end
+    #     (non-Dense) instance >= 1.3x faster — enforced on multi-CPU
+    #     hosts, report-only on 1 CPU like the other wall-clock gates;
+    #   * clear_slots: the arena must write strictly fewer clearing slots
+    #     — ALWAYS enforced, the counter is deterministic (epoch
+    #     retirement writes zero slots, the legacy wipe writes them all);
+    #   * cycles_per_step: the arena points must not regress > 15%
+    #     against the previous recorded run's same-named point (multi-CPU
+    #     hosts only; raw cycle counts are too noisy to gate on 1 CPU).
+    layouts = {}
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "EngineLayout" in parts[0] and len(parts) >= 3 \
+                and p.get("real_time"):
+            layouts.setdefault((parts[0], parts[1]), {})[parts[2]] = p
+    largest_e2e = max((int(n) for (base, n) in layouts
+                       if "Dense" not in base), default=None)
+    for (base, n), modes in sorted(layouts.items(),
+                                   key=lambda kv: (kv[0][0], int(kv[0][1]))):
+        legacy, arena = modes.get("0"), modes.get("1")
+        if legacy is None or arena is None:
+            continue
+        ratio = legacy["real_time"] / max(arena["real_time"], 1e-9)
+        enforced = "Dense" not in base and int(n) == largest_e2e \
+            and num_cpus >= 2
+        good = ratio >= 1.3 if enforced else True
+        status = "ok" if good else "REGRESSION"
+        if not enforced and num_cpus < 2:
+            status += " (report-only: 1 CPU)"
+        print(f"{base}/{n}: legacy {legacy['real_time']:.2f} vs arena "
+              f"{arena['real_time']:.2f} {legacy.get('time_unit', 'ms')} "
+              f"({ratio:.2f}x) {status}", file=out)
+        ok = ok and good
+        if "clear_slots" in legacy and "clear_slots" in arena:
+            fewer = arena["clear_slots"] < legacy["clear_slots"]
+            status = "ok" if fewer else "REGRESSION"
+            print(f"{base}/{n}: clear_slots arena "
+                  f"{arena['clear_slots']:.0f} vs legacy "
+                  f"{legacy['clear_slots']:.0f} (strictly fewer) {status}",
+                  file=out)
+            ok = ok and fewer
+    if layouts and num_cpus >= 2:
+        prior = {}
+        for old_run in prior_runs:
+            for p in old_run.get("benchmarks", []):
+                if "EngineLayout" in p.get("name", "") \
+                        and p.get("cycles_per_step"):
+                    prior[p["name"]] = p["cycles_per_step"]
+        for p in run_record["benchmarks"]:
+            parts = p["name"].split("/")
+            if "EngineLayout" not in parts[0] or len(parts) < 3 \
+                    or parts[2] != "1" or not p.get("cycles_per_step"):
+                continue
+            base = prior.get(p["name"])
+            if not base:
+                continue
+            drift = p["cycles_per_step"] / base
+            good = drift <= 1.15
+            status = "ok" if good else "REGRESSION"
+            print(f"{p['name']}: cycles/step {p['cycles_per_step']:.0f} vs "
+                  f"prior {base:.0f} ({drift:.2f}x) {status}",
+                  file=out)
+            ok = ok and good
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", action="append", default=[], metavar="BIN",
-                    help="bench binary to run (repeatable; e.g. "
-                         "bench_e11_engine_micro, bench_e12_batch_throughput)")
-    ap.add_argument("--solve-json", action="append", default=[],
-                    metavar="FILE",
-                    help="hypercover_cli --stats-json record(s) to fold "
-                         "into the run record (algo + certificate schema)")
+    ap.add_argument("--bench", action="append", default=[],
+                    help="benchmark binary (repeatable; results are merged)")
     ap.add_argument("--out", default="BENCH_engine.json")
-    ap.add_argument("--label", default="",
-                    help="free-form label for this run (e.g. a commit subject)")
-    ap.add_argument("--filter", default="DigestGuard",
-                    help="benchmark name filter (digest-guarded engine benches)")
-    ap.add_argument("--min-time", default="0.05",
-                    help="--benchmark_min_time passed through (seconds)")
-    ap.add_argument("--keep", type=int, default=8,
-                    help="maximum history entries to retain in --out")
+    ap.add_argument("--label", default="")
+    ap.add_argument("--filter", default="DigestGuard")
+    ap.add_argument("--min-time", default="0.05")
+    ap.add_argument("--keep", type=int, default=8)
+    ap.add_argument("--solve-json", action="append", default=[],
+                    help="hypercover_cli --stats-json output to fold in "
+                         "(repeatable)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate logic against synthetic run records "
+                         "and exit; no benchmarks are executed")
     args = ap.parse_args()
+    if args.self_test:
+        return self_test()
     if not args.bench and not args.solve_json:
-        ap.error("need --bench and/or --solve-json")
+        ap.error("need --bench and/or --solve-json (or --self-test)")
 
     raw = {}
     for bench in args.bench:
@@ -186,185 +374,108 @@ def main():
     print(f"wrote {out} ({len(run_record['benchmarks'])} points, "
           f"{len(doc['runs'])} runs kept)", file=sys.stderr)
 
-    # Gate: on any SparseTail pair present in this run, active must process
-    # >= 5x fewer items per round than dense. A failure exits non-zero so
-    # CI or a pre-merge hook can catch a frontier regression.
-    tails = {}
-    for p in run_record["benchmarks"]:
-        # Names look like BM_SparseTailRounds.../100000/1/manual_time.
-        parts = p["name"].split("/")
-        if "SparseTail" in parts[0] and len(parts) >= 3 \
-                and "items_per_round" in p:
-            tails.setdefault((parts[0], parts[1]), {})[parts[2]] = \
-                p["items_per_round"]
-    ok = True
-    for (base, instance), modes in sorted(tails.items()):
-        dense, active = modes.get("0"), modes.get("1")
-        if dense is None or active is None or active <= 0:
-            continue
-        ratio = dense / active
-        status = "ok" if ratio >= 5.0 else "REGRESSION"
-        print(f"{base}/{instance}: dense {dense:.0f} vs active {active:.0f} "
-              f"items/round ({ratio:.1f}x) {status}", file=sys.stderr)
-        ok = ok and ratio >= 5.0
-
-    # Gate: BatchScheduler throughput vs the sequential loop, in jobs/s.
-    # Names look like BM_BatchThroughputDigestGuard/64/1/real_time; mode 0
-    # is the loop, mode 1 the scheduler. Enforced (>= 1.5x at batch 64)
-    # only when the scheduler actually had >= 2 workers — on a single-CPU
-    # host the two modes tie by construction and the ratio is just
-    # reported.
-    batches = {}
-    for p in run_record["benchmarks"]:
-        parts = p["name"].split("/")
-        if "BatchThroughput" in parts[0] and len(parts) >= 3 \
-                and "items_per_second" in p:
-            batches.setdefault(parts[1], {})[parts[2]] = p
-    for batch, modes in sorted(batches.items(), key=lambda kv: int(kv[0])):
-        loop, sched = modes.get("0"), modes.get("1")
-        if loop is None or sched is None:
-            continue
-        ratio = sched["items_per_second"] / max(loop["items_per_second"], 1e-9)
-        workers = sched.get("threads", 1)
-        enforced = workers >= 2 and batch == "64"
-        good = ratio >= 1.5 if enforced else True
-        status = "ok" if good else "REGRESSION"
-        if not enforced:
-            status += " (report-only: single worker)" if workers < 2 else ""
-        print(f"BatchThroughput/{batch}: loop {loop['items_per_second']:.0f} "
-              f"vs scheduler {sched['items_per_second']:.0f} jobs/s "
-              f"({ratio:.2f}x on {workers:.0f} workers) {status}",
-              file=sys.stderr)
-        ok = ok and good
-
-    # Gate: persistent solve server vs the fork-per-solve CLI loop, in
-    # requests/s. Names look like BM_ServerThroughputDigestGuard/8/1/
-    # real_time; parts[1] is the client concurrency, mode 0 the CLI loop,
-    # mode 1 the server (result cache disabled). Enforced (>= 1.5x at
-    # concurrency 8) only when the server pool had >= 2 workers — on a
-    # single-CPU host the ratio is just reported.
-    servers = {}
-    for p in run_record["benchmarks"]:
-        parts = p["name"].split("/")
-        if "ServerThroughput" in parts[0] and len(parts) >= 3 \
-                and "items_per_second" in p:
-            servers.setdefault(parts[1], {})[parts[2]] = p
-    for conc, modes in sorted(servers.items(), key=lambda kv: int(kv[0])):
-        loop, served = modes.get("0"), modes.get("1")
-        if loop is None or served is None:
-            continue
-        ratio = served["items_per_second"] / max(loop["items_per_second"],
-                                                 1e-9)
-        workers = served.get("threads", 1)
-        enforced = workers >= 2 and conc == "8"
-        good = ratio >= 1.5 if enforced else True
-        status = "ok" if good else "REGRESSION"
-        if not enforced and workers < 2:
-            status += " (report-only: single worker)"
-        print(f"ServerThroughput/{conc}: cli-loop "
-              f"{loop['items_per_second']:.0f} vs server "
-              f"{served['items_per_second']:.0f} req/s "
-              f"({ratio:.2f}x, p99 {served.get('p99_ms', 0):.1f} ms) "
-              f"{status}", file=sys.stderr)
-        ok = ok and good
-
-    # Gate: hgb mmap ingestion vs text parse, in load wall time. Names
-    # look like BM_ParseVsMapDigestGuard/120000/1/real_time; parts[1] is
-    # the instance size n, mode 0 the text parse, mode 1 the mmap +
-    # validate + adopt path. Enforced (>= 10x faster on the LARGEST
-    # instance) on multi-CPU hosts; on a 1-CPU host the ratio is just
-    # reported, consistent with the other gates.
-    loads = {}
-    for p in run_record["benchmarks"]:
-        parts = p["name"].split("/")
-        if "ParseVsMap" in parts[0] and len(parts) >= 3 \
-                and p.get("real_time"):
-            loads.setdefault(parts[1], {})[parts[2]] = p
-    num_cpus = run_record["host"].get("num_cpus") or 1
-    largest = max((int(n) for n in loads), default=None)
-    for n, modes in sorted(loads.items(), key=lambda kv: int(kv[0])):
-        parse, mapped = modes.get("0"), modes.get("1")
-        if parse is None or mapped is None:
-            continue
-        ratio = parse["real_time"] / max(mapped["real_time"], 1e-9)
-        enforced = int(n) == largest and num_cpus >= 2
-        good = ratio >= 10.0 if enforced else True
-        status = "ok" if good else "REGRESSION"
-        if not enforced and num_cpus < 2:
-            status += " (report-only: 1 CPU)"
-        print(f"ParseVsMap/{n}: parse {parse['real_time']:.2f} vs mmap "
-              f"{mapped['real_time']:.2f} {parse.get('time_unit', 'ms')} "
-              f"({ratio:.1f}x) {status}", file=sys.stderr)
-        ok = ok and good
-
-    # Gates: mailbox layout A/B (e15). Names look like
-    # BM_EngineLayoutDigestGuard/100000/1/real_time; parts[1] is the
-    # instance size n, mode 0 the legacy byte-presence layout, mode 1 the
-    # epoch-arena layout. Three checks per pair:
-    #   * wall time: the arena must solve the LARGEST end-to-end
-    #     (non-Dense) instance >= 1.3x faster — enforced on multi-CPU
-    #     hosts, report-only on 1 CPU like the other wall-clock gates;
-    #   * clear_slots: the arena must write strictly fewer clearing slots
-    #     — ALWAYS enforced, the counter is deterministic (epoch
-    #     retirement writes zero slots, the legacy wipe writes them all);
-    #   * cycles_per_step: the arena points must not regress > 15%
-    #     against the previous recorded run's same-named point (multi-CPU
-    #     hosts only; raw cycle counts are too noisy to gate on 1 CPU).
-    layouts = {}
-    for p in run_record["benchmarks"]:
-        parts = p["name"].split("/")
-        if "EngineLayout" in parts[0] and len(parts) >= 3 \
-                and p.get("real_time"):
-            layouts.setdefault((parts[0], parts[1]), {})[parts[2]] = p
-    largest_e2e = max((int(n) for (base, n) in layouts
-                       if "Dense" not in base), default=None)
-    for (base, n), modes in sorted(layouts.items(),
-                                   key=lambda kv: (kv[0][0], int(kv[0][1]))):
-        legacy, arena = modes.get("0"), modes.get("1")
-        if legacy is None or arena is None:
-            continue
-        ratio = legacy["real_time"] / max(arena["real_time"], 1e-9)
-        enforced = "Dense" not in base and int(n) == largest_e2e \
-            and num_cpus >= 2
-        good = ratio >= 1.3 if enforced else True
-        status = "ok" if good else "REGRESSION"
-        if not enforced and num_cpus < 2:
-            status += " (report-only: 1 CPU)"
-        print(f"{base}/{n}: legacy {legacy['real_time']:.2f} vs arena "
-              f"{arena['real_time']:.2f} {legacy.get('time_unit', 'ms')} "
-              f"({ratio:.2f}x) {status}", file=sys.stderr)
-        ok = ok and good
-        if "clear_slots" in legacy and "clear_slots" in arena:
-            fewer = arena["clear_slots"] < legacy["clear_slots"]
-            status = "ok" if fewer else "REGRESSION"
-            print(f"{base}/{n}: clear_slots arena "
-                  f"{arena['clear_slots']:.0f} vs legacy "
-                  f"{legacy['clear_slots']:.0f} (strictly fewer) {status}",
-                  file=sys.stderr)
-            ok = ok and fewer
-    if layouts and num_cpus >= 2:
-        prior = {}
-        for old_run in doc["runs"][:-1]:
-            for p in old_run.get("benchmarks", []):
-                if "EngineLayout" in p.get("name", "") \
-                        and p.get("cycles_per_step"):
-                    prior[p["name"]] = p["cycles_per_step"]
-        for p in run_record["benchmarks"]:
-            parts = p["name"].split("/")
-            if "EngineLayout" not in parts[0] or len(parts) < 3 \
-                    or parts[2] != "1" or not p.get("cycles_per_step"):
-                continue
-            base = prior.get(p["name"])
-            if not base:
-                continue
-            drift = p["cycles_per_step"] / base
-            good = drift <= 1.15
-            status = "ok" if good else "REGRESSION"
-            print(f"{p['name']}: cycles/step {p['cycles_per_step']:.0f} vs "
-                  f"prior {base:.0f} ({drift:.2f}x) {status}",
-                  file=sys.stderr)
-            ok = ok and good
+    ok = check_gates(run_record, prior_runs=doc["runs"][:-1])
     return 0 if ok else 1
+
+
+def _record(points, num_cpus=2):
+    return {"host": {"num_cpus": num_cpus}, "benchmarks": points}
+
+
+def self_test():
+    """Drive check_gates with synthetic run records, one pass and one
+    failure per gate, so the thresholds themselves are under test. Gate
+    chatter goes to a StringIO; only the verdict lines are printed."""
+    import io
+
+    def gates(points, num_cpus=2, prior_runs=()):
+        return check_gates(_record(points, num_cpus), prior_runs,
+                           out=io.StringIO())
+
+    def tail(mode, ipr):
+        return {"name": f"BM_SparseTailRounds/100000/{mode}/manual_time",
+                "items_per_round": ipr}
+
+    def batch(mode, jps, threads=4, size=64):
+        return {"name": f"BM_BatchThroughputDigestGuard/{size}/{mode}",
+                "items_per_second": jps, "threads": threads}
+
+    def server(mode, rps, threads=4, conc=8):
+        return {"name": f"BM_ServerThroughputDigestGuard/{conc}/{mode}",
+                "items_per_second": rps, "threads": threads}
+
+    def load(mode, ms, n=120000):
+        return {"name": f"BM_ParseVsMapDigestGuard/{n}/{mode}",
+                "real_time": ms, "time_unit": "ms"}
+
+    def layout(mode, ms, clear, cycles=None, n=100000):
+        p = {"name": f"BM_EngineLayoutDigestGuard/{n}/{mode}",
+             "real_time": ms, "time_unit": "ms", "clear_slots": clear}
+        if cycles is not None:
+            p["cycles_per_step"] = cycles
+        return p
+
+    cases = [
+        ("sparse_tail 10x passes", True,
+         lambda: gates([tail(0, 1000.0), tail(1, 100.0)])),
+        ("sparse_tail 2x fails", False,
+         lambda: gates([tail(0, 1000.0), tail(1, 500.0)])),
+        ("batch 2x at 64 passes", True,
+         lambda: gates([batch(0, 100.0), batch(1, 200.0)])),
+        ("batch 1.2x at 64 fails", False,
+         lambda: gates([batch(0, 100.0), batch(1, 120.0)])),
+        ("batch 1.2x report-only on one worker", True,
+         lambda: gates([batch(0, 100.0), batch(1, 120.0, threads=1)])),
+        ("batch 1.2x report-only at batch 8", True,
+         lambda: gates([batch(0, 100.0, size=8), batch(1, 120.0, size=8)])),
+        ("server 2x at conc 8 passes", True,
+         lambda: gates([server(0, 50.0), server(1, 100.0)])),
+        ("server 1.2x at conc 8 fails", False,
+         lambda: gates([server(0, 50.0), server(1, 60.0)])),
+        ("server 1.2x report-only on one worker", True,
+         lambda: gates([server(0, 50.0), server(1, 60.0, threads=1)])),
+        ("parse_vs_map 20x passes", True,
+         lambda: gates([load(0, 200.0), load(1, 10.0)])),
+        ("parse_vs_map 5x fails", False,
+         lambda: gates([load(0, 200.0), load(1, 40.0)])),
+        ("parse_vs_map 5x report-only on 1 cpu", True,
+         lambda: gates([load(0, 200.0), load(1, 40.0)], num_cpus=1)),
+        ("parse_vs_map enforces only the largest instance", True,
+         lambda: gates([load(0, 200.0, n=1000), load(1, 40.0, n=1000),
+                        load(0, 400.0), load(1, 20.0)])),
+        ("layout 1.5x and fewer clears passes", True,
+         lambda: gates([layout(0, 150.0, 5000.0), layout(1, 100.0, 0.0)])),
+        ("layout 1.1x wall fails", False,
+         lambda: gates([layout(0, 110.0, 5000.0), layout(1, 100.0, 0.0)])),
+        ("layout 1.1x wall report-only on 1 cpu", True,
+         lambda: gates([layout(0, 110.0, 5000.0), layout(1, 100.0, 0.0)],
+                       num_cpus=1)),
+        ("layout equal clear_slots fails even on 1 cpu", False,
+         lambda: gates([layout(0, 150.0, 5000.0), layout(1, 100.0, 5000.0)],
+                       num_cpus=1)),
+        ("layout cycle drift 1.10x vs prior passes", True,
+         lambda: gates(
+             [layout(0, 150.0, 5000.0), layout(1, 100.0, 0.0, cycles=110.0)],
+             prior_runs=[_record([layout(1, 100.0, 0.0, cycles=100.0)])])),
+        ("layout cycle drift 1.20x vs prior fails", False,
+         lambda: gates(
+             [layout(0, 150.0, 5000.0), layout(1, 100.0, 0.0, cycles=120.0)],
+             prior_runs=[_record([layout(1, 100.0, 0.0, cycles=100.0)])])),
+        ("empty run record passes vacuously", True, lambda: gates([])),
+    ]
+    failures = 0
+    for name, expect_clean, run in cases:
+        got = run()
+        verdict = "ok" if got == expect_clean else "SELF-TEST FAILURE"
+        if got != expect_clean:
+            failures += 1
+        print(f"self-test: {name}: gate says "
+              f"{'clean' if got else 'regression'} "
+              f"(expected {'clean' if expect_clean else 'regression'}) "
+              f"{verdict}", file=sys.stderr)
+    print(f"self-test: {len(cases) - failures}/{len(cases)} cases passed",
+          file=sys.stderr)
+    return 0 if failures == 0 else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,10 @@
+// Known-bad corpus: an allowlist annotation whose reason is too short is
+// itself a finding, and it does NOT suppress the line it covers — the
+// allowlist is an audit trail, not a mute button. Not part of the build.
+#include <chrono>
+
+void short_reason() {
+  // [[hypercover::nondet_ok: tbd]]  LINT-EXPECT: bad-annotation
+  auto t = std::chrono::steady_clock::now();  // LINT-EXPECT: wall-clock
+  (void)t;
+}

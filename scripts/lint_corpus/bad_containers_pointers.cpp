@@ -1,0 +1,27 @@
+// Known-bad corpus: hash-ordered containers, pointer-identity use, and
+// thread identity. The #include lines must NOT be flagged (the use site
+// is the audit point, not the include). Not part of the build.
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Agent {};
+
+void iteration_order_hazards() {
+  std::unordered_map<int, int> by_id;        // LINT-EXPECT: unordered-container
+  std::unordered_set<int> seen;              // LINT-EXPECT: unordered-container
+  for (const auto& [k, v] : by_id) (void)v;
+  (void)seen;
+}
+
+std::size_t pointer_identity(const Agent* a) {
+  std::hash<const Agent*> h;                 // LINT-EXPECT: pointer-identity
+  auto bits = reinterpret_cast<std::uintptr_t>(a);  // LINT-EXPECT: pointer-identity
+  return h(a) ^ bits;
+}
+
+bool thread_identity() {
+  return std::this_thread::get_id() == std::thread::id{};  // LINT-EXPECT: thread-id
+}

@@ -1,0 +1,22 @@
+// Known-bad corpus: cycle counters, inline asm, and randomness sources.
+// This file is lint input, not part of the build.
+#include <cstdlib>
+#include <random>
+
+unsigned long long cycle_read() {
+  return __rdtsc();                          // LINT-EXPECT: tsc-or-asm
+}
+
+unsigned long long counter_read() {
+  unsigned long long v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));  // LINT-EXPECT: tsc-or-asm
+  return v;
+}
+
+int entropy() {
+  std::random_device rd;                     // LINT-EXPECT: random
+  std::mt19937 gen(rd());                    // LINT-EXPECT: random
+  std::default_random_engine eng;            // LINT-EXPECT: random
+  srand(42);                                 // LINT-EXPECT: random
+  return rand() + static_cast<int>(gen()) + static_cast<int>(eng());  // LINT-EXPECT: random
+}

@@ -1,0 +1,16 @@
+// Known-bad corpus for the determinism lint: every wall-clock source the
+// lint must catch. LINT-EXPECT markers name the rule(s) the marked line
+// must produce; the self-test fails on any missing or extra finding.
+// This file is lint input, not part of the build.
+#include <chrono>
+#include <ctime>
+
+void transcript_affecting() {
+  auto a = std::chrono::steady_clock::now();            // LINT-EXPECT: wall-clock
+  auto b = std::chrono::system_clock::now();            // LINT-EXPECT: wall-clock
+  auto c = std::chrono::high_resolution_clock::now();   // LINT-EXPECT: wall-clock
+  struct timespec ts;
+  clock_gettime(0, &ts);                                // LINT-EXPECT: wall-clock
+  timespec_get(&ts, 0);                                 // LINT-EXPECT: wall-clock
+  (void)a; (void)b; (void)c;
+}

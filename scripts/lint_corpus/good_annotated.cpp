@@ -1,0 +1,15 @@
+// Known-good corpus: every nondeterminism source here carries a valid
+// audit annotation, trailing or as a lead-in comment (possibly wrapped),
+// so the lint must report nothing. Not part of the build.
+#include <chrono>
+#include <unordered_map>
+
+void audited() {
+  // [[hypercover::nondet_ok: wall time is reporting-only; it never feeds
+  //    the transcript hash or the solve digest.]]
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+
+  std::unordered_map<int, int> index;  // [[hypercover::nondet_ok: lookup-only map; nothing ever iterates it, so its order cannot reach a transcript.]]
+  index[1] = 2;
+}

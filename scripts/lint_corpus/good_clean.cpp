@@ -1,0 +1,20 @@
+// Known-good corpus: banned identifiers appearing only in comments,
+// string/char literals, and raw strings are inert — the lexer strips
+// them before the rules run. A clean file must produce zero findings.
+// Not part of the build.
+#include <map>
+#include <string>
+
+// steady_clock, rand(), unordered_map — all safely in a comment.
+/* block comment: random_device __rdtsc this_thread::get_id */
+
+std::string describe() {
+  const std::string a = "uses steady_clock and unordered_set internally";
+  const std::string b = R"(raw: srand(7); uintptr_t asm volatile)";
+  const char c = '"';
+  // An ordered map is fine, as is a word that merely contains "rand".
+  std::map<int, int> ordered;
+  int operand = 3;
+  ordered[operand] = 1;
+  return a + b + c;
+}

@@ -22,6 +22,9 @@ namespace hypercover::api {
 
 namespace {
 
+// [[hypercover::nondet_ok: the clock only bounds drive() slice quanta —
+//    scheduling pacing, never results; batch_test locks Solutions
+//    bit-identical to solo solves at every pool size/policy/quantum.]]
 using Clock = std::chrono::steady_clock;
 
 }  // namespace

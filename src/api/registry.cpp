@@ -174,6 +174,8 @@ Solution solve(std::string_view name, const hg::Hypergraph& g,
   const Entry* e = find_entry(name);
   if (e == nullptr) throw_unknown(name);
 
+  // [[hypercover::nondet_ok: wall_ms is a reporting-only field; it is
+  //    excluded from util::solve_digest and never feeds a transcript.]]
   const auto wall_start = std::chrono::steady_clock::now();
   Solution sol;
   if (e->make_run != nullptr) {
@@ -187,9 +189,11 @@ Solution solve(std::string_view name, const hg::Hypergraph& g,
   // the Appendix C variant actually ran, even via the "mwhvc" entry with
   // req.mwhvc.appendix_c set); fall back to the registry name otherwise.
   if (sol.algorithm.empty()) sol.algorithm = std::string(e->info.name);
-  sol.wall_ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - wall_start)
-                    .count();
+  // [[hypercover::nondet_ok: wall_ms is a reporting-only field; it is
+  //    excluded from util::solve_digest and never feeds a transcript.]]
+  const auto wall_end = std::chrono::steady_clock::now();
+  sol.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
   if (req.certify) {
     sol.certificate = verify::certify(g, sol.in_cover, sol.duals);
   }

@@ -24,14 +24,20 @@ namespace hypercover::congest {
 /// not comparable across hosts.
 inline std::uint64_t cycle_now() noexcept {
 #if defined(__x86_64__) || defined(_M_X64)
+  // [[hypercover::nondet_ok: this file IS the audited timestamp wrapper;
+  //    step_cycles is a work metric that never feeds transcripts.]]
   return __rdtsc();
 #elif defined(__aarch64__)
   std::uint64_t v;
+  // [[hypercover::nondet_ok: this file IS the audited timestamp wrapper;
+  //    step_cycles is a work metric that never feeds transcripts.]]
   asm volatile("mrs %0, cntvct_el0" : "=r"(v));
   return v;
 #else
-  return static_cast<std::uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count());
+  // [[hypercover::nondet_ok: this file IS the audited timestamp wrapper;
+  //    step_cycles is a work metric that never feeds transcripts.]]
+  const auto ticks = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(ticks.count());
 #endif
 }
 

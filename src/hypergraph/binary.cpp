@@ -313,6 +313,9 @@ std::pair<HgbInfo, Arrays> parse_and_validate(
 /// True when the base pointer satisfies the u64-section alignment the
 /// in-place spans need.
 bool aligned8(const std::uint8_t* p) noexcept {
+  // [[hypercover::nondet_ok: alignment probe only — the address is
+  //    reduced mod 8 to pick copy-vs-adopt; both paths validate and
+  //    yield the same graph, and the value is never stored or ordered.]]
   return reinterpret_cast<std::uintptr_t>(p) % 8 == 0;
 }
 

@@ -61,7 +61,20 @@ Hypergraph read_text(std::istream& is) {
   if (n < 0 || m < 0) throw std::runtime_error("hypergraph read: negative size");
 
   Builder b;
-  for (std::int64_t v = 0; v < n; ++v) b.add_vertex(next_int(is, "weight"));
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t w = next_int(is, "weight");
+    // Validate here rather than letting Builder::build() reject it, for
+    // the same reason as the duplicate check below: malformed *input* is
+    // std::runtime_error; std::invalid_argument is the programmatic-API
+    // error. (Found by the text-reader fuzz harness, which treats any
+    // non-runtime_error escape as a contract violation.)
+    if (w <= 0) {
+      throw std::runtime_error("hypergraph read: weight " + std::to_string(w) +
+                               " of vertex " + std::to_string(v) +
+                               " is not positive");
+    }
+    b.add_vertex(w);
+  }
   std::vector<VertexId> members;
   std::vector<VertexId> sorted;
   for (std::int64_t e = 0; e < m; ++e) {

@@ -78,6 +78,10 @@ HypergraphReduction zero_one_to_hypergraph(const CoveringIlp& zo,
   }
 
   HypergraphReduction red;
+  // [[hypercover::nondet_ok: membership-test-only dedup set, never
+  //    iterated — edge emission order comes from the deterministic
+  //    constraint/clause loops below, so hash order cannot reach the
+  //    built graph or any transcript.]]
   std::unordered_set<std::vector<hg::VertexId>, VecHash> seen;
   std::vector<hg::VertexId> members;
 

@@ -91,6 +91,10 @@ class ResultCache {
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
+  // [[hypercover::nondet_ok: point lookup/erase only, never iterated —
+  //    recency order lives in lru_ (a list), and a hit returns a value
+  //    bit-identical to a fresh solve by the PR 4 determinism contract,
+  //    so hash order cannot surface anywhere observable.]]
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
 };

@@ -145,6 +145,21 @@ struct SolveServer::Impl {
     write_frame(sock, FrameTag::kError, w.take());
   }
 
+  /// A fully decoded request must have consumed its whole payload.
+  /// Trailing bytes mean the peer framed a different (likely newer or
+  /// corrupt) request shape than we just parsed — silently accepting the
+  /// prefix would act on half a request. Found by the wire fuzz harness;
+  /// answered with one Error, then the connection is dropped as
+  /// desynchronized. Returns true when the request is clean.
+  bool consumed_all(Socket& sock, const PayloadReader& r, const char* what) {
+    if (r.done()) return true;
+    protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    send_error(sock, std::string(what) + " carries " +
+                         std::to_string(r.remaining()) +
+                         " trailing payload bytes");
+    return false;
+  }
+
   /// Answers a typed Busy frame from the current load and counts the
   /// rejection — the one overload reply path for both admission limits.
   void send_busy(Socket& sock) {
@@ -162,17 +177,22 @@ struct SolveServer::Impl {
     write_frame(sock, FrameTag::kBusy, w.take());
   }
 
-  void handle_submit_graph(Socket& sock, PayloadReader& r, ConnGraph& state) {
+  /// Returns false when the connection must be dropped (trailing payload
+  /// bytes — see consumed_all); semantic failures reply Error/Busy and
+  /// keep the connection.
+  bool handle_submit_graph(Socket& sock, PayloadReader& r, ConnGraph& state) {
     const std::uint8_t kind = r.u8();
     std::string text;
     if (kind == kGraphInlineText) {
       text = r.str();
+      if (!consumed_all(sock, r, "SubmitGraph")) return false;
     } else if (kind == kGraphByPath) {
       const std::string path = r.str();
+      if (!consumed_all(sock, r, "SubmitGraph")) return false;
       std::ifstream in(path, std::ios::binary);
       if (!in) {
         send_error(sock, "cannot open graph file: " + path);
-        return;
+        return true;
       }
       // Bounded slurp: inline mode is capped by the frame length, so the
       // by-path mode must not let a huge (or endless: /dev/zero) file
@@ -185,20 +205,20 @@ struct SolveServer::Impl {
       }
     } else {
       send_error(sock, "unknown SubmitGraph kind " + std::to_string(kind));
-      return;
+      return true;
     }
     if (text.size() > opts.max_queued_bytes) {
       // An instance that alone exceeds the queue budget can never be
       // admitted; say Busy now instead of at every Solve.
       send_busy(sock);
-      return;
+      return true;
     }
     hg::Hypergraph parsed;
     try {
       parsed = hg::from_text(text);
     } catch (const std::exception& ex) {
       send_error(sock, std::string("bad graph: ") + ex.what());
-      return;
+      return true;
     }
     state.graph = std::make_shared<const hg::Hypergraph>(std::move(parsed));
     state.digest = util::graph_digest(*state.graph);
@@ -208,6 +228,7 @@ struct SolveServer::Impl {
     w.u32(state.graph->num_vertices());
     w.u32(state.graph->num_edges());
     write_frame(sock, FrameTag::kGraphOk, w.take());
+    return true;
   }
 
   /// SubmitGraphBinary (protocol v2): an hgb buffer inline, or a path the
@@ -215,7 +236,8 @@ struct SolveServer::Impl {
   /// budget as text submits — the admission weight is the hgb byte size.
   /// The by-path mode is the zero-copy path: the mapped buffer is adopted
   /// in place and shared by every queued solve of this instance.
-  void handle_submit_graph_binary(Socket& sock, PayloadReader& r,
+  /// Returns false when the connection must be dropped.
+  bool handle_submit_graph_binary(Socket& sock, PayloadReader& r,
                                   ConnGraph& state) {
     const std::uint8_t kind = r.u8();
     hg::Hypergraph adopted;
@@ -226,35 +248,37 @@ struct SolveServer::Impl {
         // allocations are 8-aligned, so no copy beyond the frame decode.
         auto blob =
             std::make_shared<const std::vector<std::uint8_t>>(r.bytes());
+        if (!consumed_all(sock, r, "SubmitGraphBinary")) return false;
         byte_size = blob->size();
         if (byte_size > opts.max_queued_bytes) {
           send_busy(sock);
-          return;
+          return true;
         }
         const std::span<const std::uint8_t> view(*blob);
         adopted = hg::adopt_binary(view, std::move(blob));
       } else if (kind == kGraphBinaryByPath) {
         const std::string path = r.str();
+        if (!consumed_all(sock, r, "SubmitGraphBinary")) return false;
         std::error_code ec;
         const auto size = std::filesystem::file_size(path, ec);
         if (ec) {
           send_error(sock, "cannot stat graph file: " + path);
-          return;
+          return true;
         }
         byte_size = size;
         if (byte_size > opts.max_queued_bytes) {
           send_busy(sock);
-          return;
+          return true;
         }
         adopted = hg::map_file(path);
       } else {
         send_error(sock,
                    "unknown SubmitGraphBinary kind " + std::to_string(kind));
-        return;
+        return true;
       }
     } catch (const hg::BinaryFormatError& ex) {
       send_error(sock, std::string("bad binary graph: ") + ex.what());
-      return;
+      return true;
     }
     state.graph = std::make_shared<const hg::Hypergraph>(std::move(adopted));
     // The header digest was already verified against the content by
@@ -266,19 +290,22 @@ struct SolveServer::Impl {
     w.u32(state.graph->num_vertices());
     w.u32(state.graph->num_edges());
     write_frame(sock, FrameTag::kGraphOk, w.take());
+    return true;
   }
 
-  void handle_solve(Socket& sock, PayloadReader& r, const ConnGraph& state) {
+  /// Returns false when the connection must be dropped.
+  bool handle_solve(Socket& sock, PayloadReader& r, const ConnGraph& state) {
     std::string algorithm;
     SolveKnobs knobs;
     decode_solve(r, algorithm, knobs);
+    if (!consumed_all(sock, r, "Solve")) return false;
     if (state.graph == nullptr) {
       send_error(sock, "Solve before SubmitGraph");
-      return;
+      return true;
     }
     if (api::find_solver(algorithm) == nullptr) {
       send_error(sock, "unknown algorithm \"" + algorithm + "\"");
-      return;
+      return true;
     }
     const api::SolveRequest req = to_request(knobs);
     const std::uint64_t key = util::solve_digest(state.digest, algorithm, req);
@@ -290,12 +317,12 @@ struct SolveServer::Impl {
       // already see it in the Stats counters.
       solves.fetch_add(1, std::memory_order_relaxed);
       write_frame(sock, FrameTag::kResult, w.take());
-      return;
+      return true;
     }
 
     if (!admit(state.text_bytes)) {
       send_busy(sock);
-      return;
+      return true;
     }
 
     // Dispatch on the shared scheduler and block this handler until the
@@ -320,7 +347,7 @@ struct SolveServer::Impl {
     } catch (const std::exception& ex) {
       release(state.text_bytes);
       send_error(sock, std::string("solve failed: ") + ex.what());
-      return;
+      return true;
     }
     release(state.text_bytes);
     const congest::RunStats& net = sol.net;
@@ -342,6 +369,7 @@ struct SolveServer::Impl {
     encode_result(w, *shared, /*cache_hit=*/false, key);
     solves.fetch_add(1, std::memory_order_relaxed);
     write_frame(sock, FrameTag::kResult, w.take());
+    return true;
   }
 
   /// Runs one connection's request/response loop. Returns when the peer
@@ -362,6 +390,7 @@ struct SolveServer::Impl {
         switch (frame.tag) {
           case FrameTag::kHello: {
             const std::uint32_t version = r.u32();
+            if (!consumed_all(sock, r, "Hello")) return;
             if (version != kProtocolVersion) {
               protocol_errors.fetch_add(1, std::memory_order_relaxed);
               send_error(sock, "protocol version " + std::to_string(version) +
@@ -377,21 +406,23 @@ struct SolveServer::Impl {
             break;
           }
           case FrameTag::kSubmitGraph:
-            handle_submit_graph(sock, r, state);
+            if (!handle_submit_graph(sock, r, state)) return;
             break;
           case FrameTag::kSubmitGraphBinary:
-            handle_submit_graph_binary(sock, r, state);
+            if (!handle_submit_graph_binary(sock, r, state)) return;
             break;
           case FrameTag::kSolve:
-            handle_solve(sock, r, state);
+            if (!handle_solve(sock, r, state)) return;
             break;
           case FrameTag::kStats: {
+            if (!consumed_all(sock, r, "Stats")) return;
             PayloadWriter w;
             encode_stats(w, snapshot());
             write_frame(sock, FrameTag::kStatsReply, w.take());
             break;
           }
           case FrameTag::kShutdown:
+            if (!consumed_all(sock, r, "Shutdown")) return;
             write_frame(sock, FrameTag::kShutdownOk);
             request_stop();
             return;

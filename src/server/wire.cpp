@@ -178,6 +178,32 @@ void decode_solve(PayloadReader& r, std::string& algorithm,
   knobs.certify = (flags & kKnobNoCertify) == 0;
 }
 
+namespace {
+
+// Cover as a bitmap: n then ceil(n/8) bytes, LSB-first within a byte.
+// Unused tail bits of the last byte are written as zero — the canonical
+// encoding the fuzz harness pins down with its re-encode check.
+void put_cover_bitmap(PayloadWriter& w, const std::vector<bool>& in_cover) {
+  const std::uint32_t n = static_cast<std::uint32_t>(in_cover.size());
+  w.u32(n);
+  std::uint8_t byte = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (in_cover[v]) byte |= static_cast<std::uint8_t>(1u << (v % 8));
+    if (v % 8 == 7) {
+      w.u8(byte);
+      byte = 0;
+    }
+  }
+  if (n % 8 != 0) w.u8(byte);
+}
+
+void put_duals(PayloadWriter& w, const std::vector<double>& duals) {
+  w.u32(static_cast<std::uint32_t>(duals.size()));
+  for (const double d : duals) w.f64(d);
+}
+
+}  // namespace
+
 void encode_result(PayloadWriter& w, const api::Solution& sol, bool cache_hit,
                    std::uint64_t solve_digest) {
   w.u8(cache_hit ? 1 : 0);
@@ -198,21 +224,33 @@ void encode_result(PayloadWriter& w, const api::Solution& sol, bool cache_hit,
   w.u64(sol.net.transcript_hash);
   w.u64(solve_digest);
   w.f64(sol.wall_ms);
-  // Cover as a bitmap: n then ceil(n/8) bytes, LSB-first within a byte.
-  const std::uint32_t n = static_cast<std::uint32_t>(sol.in_cover.size());
-  w.u32(n);
-  std::uint8_t byte = 0;
-  for (std::uint32_t v = 0; v < n; ++v) {
-    if (sol.in_cover[v]) byte |= static_cast<std::uint8_t>(1u << (v % 8));
-    if (v % 8 == 7) {
-      w.u8(byte);
-      byte = 0;
-    }
-  }
-  if (n % 8 != 0) w.u8(byte);
-  const std::uint32_t m = static_cast<std::uint32_t>(sol.duals.size());
-  w.u32(m);
-  for (const double d : sol.duals) w.f64(d);
+  put_cover_bitmap(w, sol.in_cover);
+  put_duals(w, sol.duals);
+}
+
+void encode_result(PayloadWriter& w, const WireResult& res) {
+  // Field-for-field the same layout as the Solution overload above; the
+  // two must stay in sync (decode_result reads this order).
+  w.u8(res.cache_hit ? 1 : 0);
+  w.str(res.algorithm);
+  w.u8(res.outcome);
+  w.u32(res.rounds);
+  w.u8(res.completed ? 1 : 0);
+  w.u64(res.total_messages);
+  w.u64(res.total_bits);
+  w.u32(res.iterations);
+  w.i64(res.cover_weight);
+  w.f64(res.dual_total);
+  w.f64(res.certified_ratio);
+  w.u8(res.cert_valid ? 1 : 0);
+  w.u8(res.cert_cover_valid ? 1 : 0);
+  w.u8(res.cert_packing_feasible ? 1 : 0);
+  w.str(res.cert_error);
+  w.u64(res.transcript_hash);
+  w.u64(res.solve_digest);
+  w.f64(res.wall_ms);
+  put_cover_bitmap(w, res.in_cover);
+  put_duals(w, res.duals);
 }
 
 WireResult decode_result(PayloadReader& r) {

@@ -185,6 +185,11 @@ struct WireResult {
 
 void encode_result(PayloadWriter& w, const api::Solution& sol, bool cache_hit,
                    std::uint64_t solve_digest);
+/// Re-encodes a decoded Result. decode/encode are canonical inverses:
+/// encode(decode(p)) is the canonical form of p, and re-encoding is
+/// idempotent — the property the wire fuzz harness enforces, and what a
+/// future router needs to forward Results without holding a Solution.
+void encode_result(PayloadWriter& w, const WireResult& res);
 [[nodiscard]] WireResult decode_result(PayloadReader& r);
 
 /// Server counters on a StatsReply frame.

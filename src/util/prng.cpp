@@ -23,6 +23,9 @@ std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k,
     return out;
   }
   // Sparse case: rejection sampling.
+  // [[hypercover::nondet_ok: membership-test-only rejection filter,
+  //    never iterated — `out` is appended in rng draw order, which is
+  //    fully determined by the caller-provided seed.]]
   std::unordered_set<std::uint32_t> seen;
   seen.reserve(k * 2);
   while (out.size() < k) {

@@ -122,6 +122,37 @@ TEST_F(BinaryFormat, RoundTripsEdgeCases) {
   }
 }
 
+// Promoted from the binary fuzz harness (fuzz/fuzz_binary_validate.cpp):
+// multi-byte count corruptions (a whole u32/u64 field rewritten, which
+// the single-byte-flip sweep below does not produce) must be rejected by
+// the coarse bounds checks — cheaply, before anything is allocated or
+// summed from them. The harness runs these shapes by the thousands; this
+// pins the exact field-level cases.
+TEST_F(BinaryFormat, FuzzRegressionGarbageCountsRejectedBeforeAllocation) {
+  const Hypergraph g = random_uniform(30, 60, 3, unit_weights(), 21);
+  const std::vector<std::uint8_t> good = write_binary(g);
+  auto patched = [&](std::size_t offset, std::uint64_t value,
+                     std::size_t width) {
+    std::vector<std::uint8_t> bad = good;
+    for (std::size_t i = 0; i < width; ++i) {
+      bad[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    return bad;
+  };
+  // Header offsets from the format table in binary.hpp.
+  EXPECT_THROW(validate_binary(patched(16, 0xFFFFFFFFu, 4)),
+               BinaryFormatError);  // n
+  EXPECT_THROW(validate_binary(patched(20, 0xFFFFFFFFu, 4)),
+               BinaryFormatError);  // m
+  EXPECT_THROW(validate_binary(patched(24, ~std::uint64_t{0}, 8)),
+               BinaryFormatError);  // incidences
+  EXPECT_THROW(validate_binary(patched(56, ~std::uint64_t{0}, 8)),
+               BinaryFormatError);  // total file bytes
+  EXPECT_THROW(validate_binary(patched(56, 64, 8)),
+               BinaryFormatError);  // file_bytes smaller than the content
+  validate_binary(good);  // and the unpatched buffer still passes
+}
+
 TEST_F(BinaryFormat, AdoptIsZeroCopyAndKeepaliveBound) {
   const auto g = random_uniform(60, 120, 3, uniform_weights(50), 21);
   auto blob = std::make_shared<const std::vector<std::uint8_t>>(write_binary(g));

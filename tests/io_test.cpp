@@ -121,7 +121,27 @@ TEST(HypergraphIo, RejectsMalformedInput) {
   EXPECT_THROW((void)from_text("hypergraph 2 1\n1 1\n2 0 0\n"),
                std::runtime_error);
   // Non-positive weight (paper requires w : V -> N+).
-  EXPECT_THROW((void)from_text("hypergraph 1 0\n0\n"), std::invalid_argument);
+  EXPECT_THROW((void)from_text("hypergraph 1 0\n0\n"), std::runtime_error);
+}
+
+// Promoted from the text-reader fuzz harness (fuzz/fuzz_text_reader.cpp):
+// a non-positive weight used to slip through the reader unvalidated and
+// surface as Builder::build()'s std::invalid_argument — breaking the
+// documented "throws std::runtime_error on malformed input" contract for
+// anyone catching the documented type. The reader now rejects it itself.
+TEST(HypergraphIo, FuzzRegressionNonPositiveWeightIsRuntimeError) {
+  try {
+    (void)from_text("hypergraph 2 1\n3 0\n2 0 1\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::invalid_argument&) {
+    FAIL() << "std::invalid_argument leaked through the reader";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("weight"), std::string::npos) << what;
+    EXPECT_NE(what.find('1'), std::string::npos) << what;  // vertex index
+  }
+  EXPECT_THROW((void)from_text("hypergraph 1 1\n-7\n1 0\n"),
+               std::runtime_error);
 }
 
 TEST(HypergraphIo, RejectsDuplicateEdgeMembers) {
@@ -164,10 +184,9 @@ TEST(HypergraphIo, RejectsTrailingTokensAfterLastEdge) {
 }
 
 TEST(HypergraphIo, RejectsNegativeWeights) {
-  EXPECT_THROW((void)from_text("hypergraph 2 0\n5 -3\n"),
-               std::invalid_argument);
+  EXPECT_THROW((void)from_text("hypergraph 2 0\n5 -3\n"), std::runtime_error);
   EXPECT_THROW((void)from_text("hypergraph 1 1\n-1\n1 0\n"),
-               std::invalid_argument);
+               std::runtime_error);
 }
 
 TEST(HypergraphIo, RejectsTruncatedInput) {

@@ -424,6 +424,78 @@ TEST_F(ServerFraming, BadBinaryGraphIsAnErrorAndConnectionRecovers) {
   EXPECT_TRUE(c.solve("greedy").cert_valid);
 }
 
+// Promoted from the wire fuzz harness (fuzz/fuzz_wire_decode.cpp): the
+// handlers used to decode a request's fields and silently ignore any
+// trailing payload bytes, acting on the prefix of a request framed for a
+// different protocol shape. Trailing bytes now earn one Error naming
+// them, and the connection is dropped as desynchronized.
+TEST_F(ServerFraming, FuzzRegressionTrailingPayloadBytesDropConnection) {
+  server::Socket sock = server::connect_to(srv_.address());
+  server::PayloadWriter hello;
+  hello.u32(server::kProtocolVersion);
+  server::write_frame(sock, server::FrameTag::kHello, hello.take());
+  server::Frame reply;
+  ASSERT_TRUE(server::read_frame(sock, reply));
+  ASSERT_EQ(reply.tag, server::FrameTag::kHelloOk);
+
+  // A Stats request whose payload should be empty but carries one byte.
+  server::write_frame(sock, server::FrameTag::kStats, {0xAA});
+  ASSERT_TRUE(server::read_frame(sock, reply));
+  EXPECT_EQ(reply.tag, server::FrameTag::kError);
+  {
+    server::PayloadReader r(reply.payload);
+    EXPECT_NE(r.str().find("trailing"), std::string::npos);
+  }
+  EXPECT_FALSE(server::read_frame(sock, reply));  // dropped, not ignored
+
+  // Same for a SubmitGraph with junk after its complete graph text.
+  server::Socket sock2 = server::connect_to(srv_.address());
+  server::PayloadWriter hello2;
+  hello2.u32(server::kProtocolVersion);
+  server::write_frame(sock2, server::FrameTag::kHello, hello2.take());
+  ASSERT_TRUE(server::read_frame(sock2, reply));
+  server::PayloadWriter submit;
+  submit.u8(0);  // inline text kind
+  submit.str(hg::to_text(test_graph()));
+  submit.u32(0xdeadbeef);  // trailing junk
+  server::write_frame(sock2, server::FrameTag::kSubmitGraph, submit.take());
+  ASSERT_TRUE(server::read_frame(sock2, reply));
+  EXPECT_EQ(reply.tag, server::FrameTag::kError);
+  EXPECT_FALSE(server::read_frame(sock2, reply));
+
+  expect_still_serving();
+  expect_protocol_errors_reach(srv_.server(), 2);
+}
+
+// Promoted from the wire fuzz harness: decode_result ignores the unused
+// tail bits of the cover bitmap's last byte, so two byte-distinct
+// payloads could denote the same Result. The WireResult encode overload
+// pins the canonical form — re-encoding a decoded payload zeroes the
+// tail bits, and re-encoding is idempotent from there.
+TEST(WireFuzzRegression, ResultReencodeCanonicalizesBitmapTailBits) {
+  server::WireResult res;
+  res.algorithm = "greedy";
+  res.completed = true;
+  res.cover_weight = 7;
+  res.in_cover = {true, false, true};  // 3 bits -> 5 unused tail bits
+  server::PayloadWriter w;
+  server::encode_result(w, res);
+  const std::vector<std::uint8_t> canonical = w.take();
+
+  // The bitmap byte sits before the trailing u32 dual count (m = 0).
+  std::vector<std::uint8_t> mutated = canonical;
+  mutated[mutated.size() - 5] |= 0xF8;  // set the 5 unused tail bits
+  ASSERT_NE(mutated, canonical);
+
+  server::PayloadReader r(mutated);
+  const server::WireResult decoded = server::decode_result(r);
+  ASSERT_TRUE(r.done());
+  EXPECT_EQ(decoded.in_cover, res.in_cover);  // tail bits don't leak
+  server::PayloadWriter w2;
+  server::encode_result(w2, decoded);
+  EXPECT_EQ(w2.take(), canonical);  // one re-encode reaches the fixed point
+}
+
 // --- served-solve parity ---------------------------------------------------
 
 TEST(ServerSolve, EveryRegisteredAlgorithmMatchesSolo) {
