@@ -1,0 +1,391 @@
+// E16 — router fleet load (engineering bench, not a paper experiment):
+// open-loop latency of the sharding router (router::Router) fronting a
+// fleet of forked hypercover_served backends, under steady load and
+// under injected faults.
+//
+// Open-loop means arrivals follow a seeded Poisson schedule fixed
+// before the run: each request's latency is measured from its
+// SCHEDULED arrival, not from when a worker got around to sending it,
+// so queueing delay shows up in the percentiles instead of silently
+// throttling the offered rate (closed-loop coordination omission).
+// p50/p99/p99.9 are reported as counters; scripts/bench_json.py gates
+// the steady-state p99 against the serving SLO on multi-core hosts.
+//
+// Every response is digest-guarded: the transcript hash in each Result
+// is compared against a solo in-process api::solve of the same
+// instance, so neither the router nor any backend can look fast by
+// answering something else. The chaos points re-check that guard while
+// a backend is SIGKILLed (dead — fail over immediately) or SIGSTOPped
+// (stalled — fail over on the reply deadline) mid-run: every request
+// must still complete bit-identically, via the ring-successor retry.
+//
+// The fleet needs the hypercover_served binary: CMake bakes its path
+// in when the examples are built (HYPERCOVER_SERVED_BIN), and the
+// HYPERCOVER_SERVED environment variable overrides it. Without either,
+// all points are skipped.
+
+#include "bench/common.hpp"
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/weights.hpp"
+#include "router/router.hpp"
+#include "server/client.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace hypercover;
+
+#ifndef HYPERCOVER_SERVED_BIN
+#define HYPERCOVER_SERVED_BIN ""
+#endif
+
+std::string served_binary() {
+  if (const char* env = std::getenv("HYPERCOVER_SERVED")) return env;
+  return HYPERCOVER_SERVED_BIN;
+}
+
+constexpr std::size_t kRequests = 64;
+constexpr std::size_t kBackends = 3;
+constexpr unsigned kWorkers = 4;
+
+/// The load mix: small mixed-family instances (a few ms per cold
+/// solve), each with its solo reference transcript for the guard.
+struct Workload {
+  std::vector<std::string> texts;
+  std::vector<std::string> algos;
+  std::vector<std::uint64_t> want_digest;
+};
+
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload out;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const auto seed = static_cast<std::uint64_t>(1600 + i);
+      const auto n = static_cast<std::uint32_t>(110 + 10 * (i % 6));
+      hg::Hypergraph g;
+      switch (i % 3) {
+        case 0:
+          g = hg::random_uniform(n, 2 * n, 3, hg::exponential_weights(9),
+                                 seed);
+          break;
+        case 1:
+          g = hg::random_set_cover(n / 2, n, 3, hg::uniform_weights(77), seed);
+          break;
+        default:
+          g = hg::random_bounded_degree(n, n + n / 2, 4, 7,
+                                        hg::exponential_weights(6), seed);
+          break;
+      }
+      out.texts.push_back(hg::to_text(g));
+      out.algos.push_back(i % 4 == 3 ? "kvy" : "mwhvc");
+      out.want_digest.push_back(
+          api::solve(out.algos.back(), g, {}).net.transcript_hash);
+    }
+    return out;
+  }();
+  return w;
+}
+
+/// A fleet of forked hypercover_served backends on Unix sockets.
+/// stop() reaps every child (SIGCONT first, so a SIGSTOPped victim can
+/// die); the destructor is a last-resort SIGKILL sweep.
+struct Fleet {
+  std::string dir;
+  std::vector<std::string> addrs;
+  std::vector<pid_t> pids;
+
+  explicit Fleet(std::size_t count) {
+    char tmpl[] = "/tmp/hypercover_e16_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for the e16 fleet");
+    }
+    dir = tmpl;
+    const std::string bin = served_binary();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string sock = dir + "/b" + std::to_string(i) + ".sock";
+      addrs.push_back("unix:" + sock);
+      const std::string listen = "--listen=unix:" + sock;
+      const pid_t pid = ::fork();
+      if (pid < 0) throw std::runtime_error("fork failed");
+      if (pid == 0) {
+        ::execl(bin.c_str(), bin.c_str(), listen.c_str(), "--quiet",
+                static_cast<char*>(nullptr));
+        ::_exit(127);  // exec failed
+      }
+      pids.push_back(pid);
+    }
+    // Readiness: a full Hello round trip against each backend.
+    for (const std::string& addr : addrs) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      for (;;) {
+        try {
+          server::Client probe;
+          probe.connect(addr, 1000);
+          break;
+        } catch (const std::exception&) {
+          if (std::chrono::steady_clock::now() > deadline) {
+            throw std::runtime_error("backend " + addr + " never came up");
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    }
+  }
+
+  void signal(std::size_t i, int sig) const { ::kill(pids[i], sig); }
+
+  void stop() {
+    for (const pid_t pid : pids) {
+      ::kill(pid, SIGCONT);
+      ::kill(pid, SIGTERM);
+    }
+    for (const pid_t pid : pids) {
+      int status = 0;
+      if (::waitpid(pid, &status, 0) != pid) ::kill(pid, SIGKILL);
+    }
+    pids.clear();
+  }
+
+  ~Fleet() {
+    for (const pid_t pid : pids) {
+      ::kill(pid, SIGCONT);
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+/// Draws kRequests Poisson arrival offsets (seconds from run start) at
+/// `rate_rps`, from a fixed seed — the schedule, not the run, owns the
+/// randomness, so every execution offers the same load.
+std::vector<double> poisson_schedule(double rate_rps, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<double> at(kRequests);
+  double t = 0;
+  for (std::size_t j = 0; j < kRequests; ++j) {
+    const double u =
+        (static_cast<double>(rng() >> 11) + 1.0) * 0x1.0p-53;
+    t += -std::log(u) / rate_rps;
+    at[j] = t;
+  }
+  return at;
+}
+
+struct Percentiles {
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+Percentiles percentiles(std::vector<double>& ms) {
+  Percentiles out;
+  if (ms.empty()) return out;
+  std::sort(ms.begin(), ms.end());
+  out.p50 = ms[ms.size() / 2];
+  out.p99 = ms[std::min(ms.size() - 1, (ms.size() * 99) / 100)];
+  out.p999 = ms[std::min(ms.size() - 1, (ms.size() * 999) / 1000)];
+  return out;
+}
+
+/// One open-loop run against an in-process router over `fleet`.
+/// Worker t owns requests j with j % kWorkers == t, sleeps until each
+/// scheduled arrival, and measures from the schedule. `chaos`, if set,
+/// is invoked once (from a controller thread) after ~40% of requests
+/// completed, with the router to inspect. Returns per-request wall
+/// times; throws on any digest mismatch or failed request.
+std::vector<double> open_loop(router::Router& rt, double rate_rps,
+                              const std::function<void()>& chaos) {
+  const Workload& w = workload();
+  const std::vector<double> schedule = poisson_schedule(rate_rps, 16);
+  std::vector<std::vector<double>> lat(kWorkers);
+  std::vector<std::string> errors(kWorkers);
+  std::atomic<bool> failed{false};
+  std::atomic<std::size_t> completed{0};
+  const auto start = std::chrono::steady_clock::now();
+
+  std::thread controller;
+  if (chaos) {
+    controller = std::thread([&] {
+      while (completed.load() < (2 * kRequests) / 5 && !failed.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!failed.load()) chaos();
+    });
+  }
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        server::Client client;
+        client.connect(rt.address());
+        for (std::size_t j = t; j < kRequests; j += kWorkers) {
+          const auto arrival =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(schedule[j]));
+          std::this_thread::sleep_until(arrival);
+          client.submit_graph_text(w.texts[j]);
+          const server::WireResult res = client.solve(w.algos[j]);
+          if (res.transcript_hash != w.want_digest[j]) {
+            throw std::runtime_error("request " + std::to_string(j) +
+                                     " diverged from its solo transcript");
+          }
+          lat[t].push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - arrival)
+                               .count());
+          completed.fetch_add(1);
+        }
+      } catch (const std::exception& ex) {
+        errors[t] = ex.what();
+        failed.store(true);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  if (controller.joinable()) controller.join();
+  if (failed.load()) {
+    for (const std::string& e : errors) {
+      if (!e.empty()) throw std::runtime_error("e16 worker failed: " + e);
+    }
+  }
+  std::vector<double> all;
+  for (std::vector<double>& v : lat) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+/// Picks the backend that has served the most solves so far — the
+/// victim a fault should hurt the most.
+std::size_t busiest_backend(const router::Router& rt) {
+  const std::vector<router::BackendSnapshot> snaps = rt.backend_snapshots();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    if (snaps[i].solves > snaps[best].solves) best = i;
+  }
+  return best;
+}
+
+enum class Chaos { kNone, kKill, kStall };
+
+void run_point(benchmark::State& state, double rate_rps, Chaos chaos) {
+  if (served_binary().empty()) {
+    state.SkipWithError(
+        "the fleet needs hypercover_served (build examples or set "
+        "HYPERCOVER_SERVED)");
+    return;
+  }
+
+  Percentiles lat;
+  std::uint64_t retries = 0, backend_failures = 0;
+  double wall_s = 0;
+  for (auto _ : state) {
+    Fleet fleet(kBackends);
+    router::RouterOptions opts;
+    opts.listen = "unix:" + fleet.dir + "/router.sock";
+    opts.backends = fleet.addrs;
+    // A stalled (SIGSTOPped) backend is only detected at the reply
+    // deadline, so the stall point runs with a tight one; the others
+    // keep a deadline generous enough to never fire on a healthy
+    // backend under CI load.
+    opts.backend_timeout_ms = chaos == Chaos::kStall ? 250 : 20000;
+    opts.connect_timeout_ms = 1000;
+    opts.probe_backoff_ms = 50;
+    router::Router rt(opts);
+    rt.start();
+    std::thread serve([&rt] { rt.serve(); });
+
+    std::function<void()> inject;
+    if (chaos == Chaos::kKill) {
+      inject = [&] { fleet.signal(busiest_backend(rt), SIGKILL); };
+    } else if (chaos == Chaos::kStall) {
+      inject = [&] { fleet.signal(busiest_backend(rt), SIGSTOP); };
+    }
+
+    const auto run_start = std::chrono::steady_clock::now();
+    std::vector<double> ms = open_loop(rt, rate_rps, inject);
+    wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           run_start)
+                 .count();
+    if (ms.size() != kRequests) {
+      throw std::runtime_error("e16 lost requests: " +
+                               std::to_string(ms.size()) + " of " +
+                               std::to_string(kRequests) + " completed");
+    }
+    retries = rt.retries();
+    backend_failures = 0;
+    for (const router::BackendSnapshot& b : rt.backend_snapshots()) {
+      backend_failures += b.failures;
+    }
+    if (chaos != Chaos::kNone && retries == 0) {
+      throw std::runtime_error(
+          "chaos point finished without a single failover retry — the "
+          "fault was never exercised");
+    }
+    lat = percentiles(ms);
+
+    rt.request_stop();
+    serve.join();
+    fleet.stop();
+  }
+
+  state.counters["offered_rps"] = rate_rps;
+  state.counters["achieved_rps"] =
+      wall_s > 0 ? static_cast<double>(kRequests) / wall_s : 0.0;
+  state.counters["p50_ms"] = lat.p50;
+  state.counters["p99_ms"] = lat.p99;
+  state.counters["p999_ms"] = lat.p999;
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["backend_failures"] = static_cast<double>(backend_failures);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRequests));
+}
+
+/// Steady state: the SLO point bench_json.py gates (p99 on multi-core).
+void BM_RouterLoadDigestGuard(benchmark::State& state) {
+  run_point(state, static_cast<double>(state.range(0)), Chaos::kNone);
+}
+BENCHMARK(BM_RouterLoadDigestGuard)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// SIGKILL the busiest backend at ~40% progress: every in-flight and
+/// later request must still complete bit-identically via failover.
+void BM_RouterChaosKillDigestGuard(benchmark::State& state) {
+  run_point(state, 40.0, Chaos::kKill);
+}
+BENCHMARK(BM_RouterChaosKillDigestGuard)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// SIGSTOP the busiest backend (process alive, socket open, no bytes):
+/// only the reply deadline can detect it; requests fail over after the
+/// timeout and the percentile tail shows the stall.
+void BM_RouterChaosStallDigestGuard(benchmark::State& state) {
+  run_point(state, 40.0, Chaos::kStall);
+}
+BENCHMARK(BM_RouterChaosStallDigestGuard)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,7 +10,8 @@
 //   ./hypercover_cli --batch=manifest.txt [--threads=N] [--algo=<default>]
 //       [--batch-policy=rr|live] [--batch-quantum=32] [common knobs]
 //   ./hypercover_cli --connect=<unix:/path | host:port> [solve flags]
-//       [--binary] [--shutdown] [--server-stats]
+//       [--binary] [--shutdown] [--server-stats] [--timeout-ms=N]
+//       [--busy-retries=4] [--busy-base-ms=10] [--busy-max-ms=2000]
 //
 // --convert=<out.hgb> writes the instance in the `hgb` binary format
 // (hypergraph/binary.hpp) and exits — the offline converter for the
@@ -28,8 +29,13 @@
 // returned cover and duals are RE-VERIFIED LOCALLY against the instance
 // — the exit codes keep their meaning without trusting the server.
 // --shutdown asks the daemon to drain and exit; --server-stats prints
-// its serving counters. Exit code 3 when the server answers Busy
-// (admission control rejected the request).
+// its serving counters. A Busy answer (admission control rejected the
+// request) is retried with bounded, seed-jittered exponential backoff
+// (--busy-retries, default 4; --busy-base-ms / --busy-max-ms bound the
+// delay; --busy-retries=0 fails fast); exit code 3 only once the
+// retries are exhausted. --timeout-ms=N (opt-in, default 0 = wait
+// forever) bounds both connect and each server reply — a stalled or
+// unreachable server fails the run with exit 1 instead of hanging.
 //
 // --list-algos prints one `name<TAB>kind<TAB>description` line per
 // registered algorithm (the valid --algo values) and exits. Dispatch is
@@ -333,8 +339,24 @@ bool file_is_hgb(const std::string& path) {
 int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
   const std::string address = cli.get("connect", std::string());
   const bool quiet = cli.has("quiet");
+  constexpr std::int64_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+  const std::int64_t timeout_ms = cli.get("timeout-ms", 0);
+  const std::int64_t busy_retries = cli.get("busy-retries", 4);
+  const std::int64_t busy_base_ms = cli.get("busy-base-ms", 10);
+  const std::int64_t busy_max_ms = cli.get("busy-max-ms", 2000);
+  if (timeout_ms < 0 || timeout_ms > kU32Max || busy_retries < 0 ||
+      busy_retries > kU32Max || busy_base_ms < 1 || busy_base_ms > kU32Max ||
+      busy_max_ms < busy_base_ms || busy_max_ms > kU32Max) {
+    std::cerr << "error: --timeout-ms/--busy-* flags are out of range\n";
+    return 1;
+  }
   server::Client client;
-  client.connect(address);
+  client.connect(address, static_cast<std::uint32_t>(timeout_ms));
+  server::BusyRetryPolicy busy_policy;
+  busy_policy.max_retries = static_cast<std::uint32_t>(busy_retries);
+  busy_policy.base_delay_ms = static_cast<std::uint32_t>(busy_base_ms);
+  busy_policy.max_delay_ms = static_cast<std::uint32_t>(busy_max_ms);
+  client.set_busy_retry(busy_policy);
 
   if (cli.has("shutdown")) {
     client.shutdown_server();
@@ -413,7 +435,11 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
     }
     wire = client.solve(algo, wire_knobs);
   } catch (const server::BusyError& busy) {
-    std::cerr << "error: " << busy.what() << "\n";
+    std::cerr << "error: " << busy.what();
+    if (busy_policy.max_retries > 0) {
+      std::cerr << " (after " << busy_policy.max_retries << " retries)";
+    }
+    std::cerr << "\n";
     return 3;
   }
 

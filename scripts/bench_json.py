@@ -94,7 +94,9 @@ def summarize(raw):
                        "steps_per_round", "links", "agents_visited",
                        "agent_steps", "slots_processed", "sparse_passes",
                        "dense_passes", "batch", "concurrency", "p50_ms",
-                       "p99_ms", "n", "edges", "incidences", "bytes",
+                       "p99_ms", "p999_ms", "offered_rps", "achieved_rps",
+                       "retries", "backend_failures",
+                       "n", "edges", "incidences", "bytes",
                        "epoch_arena", "clear_slots", "step_cycles",
                        "cycles_per_step"):
                 point[key] = value
@@ -288,6 +290,36 @@ def check_gates(run_record, prior_runs=(), out=sys.stderr):
                   f"prior {base:.0f} ({drift:.2f}x) {status}",
                   file=out)
             ok = ok and good
+
+    # Gates: router fleet load (e16). The steady-state open-loop point
+    # (BM_RouterLoadDigestGuard/<rps>) must keep its p99 under the 500 ms
+    # serving SLO — enforced on multi-CPU hosts, report-only on 1 CPU
+    # where the 3-backend fleet, the router, and the load workers all
+    # timeshare one core. The chaos points (RouterChaosKill / Stall) must
+    # report at least one failover retry — ALWAYS enforced: a chaos run
+    # that never failed over exercised nothing.
+    slo_p99_ms = 500.0
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "RouterLoad" in parts[0] and "p99_ms" in p:
+            enforced = num_cpus >= 2
+            good = p["p99_ms"] <= slo_p99_ms if enforced else True
+            status = "ok" if good else "REGRESSION"
+            if not enforced:
+                status += " (report-only: 1 CPU)"
+            print(f"{parts[0]}: p50 {p.get('p50_ms', 0):.1f} / p99 "
+                  f"{p['p99_ms']:.1f} / p99.9 {p.get('p999_ms', 0):.1f} ms "
+                  f"at {p.get('offered_rps', 0):.0f} rps offered "
+                  f"(SLO p99 <= {slo_p99_ms:.0f} ms) {status}", file=out)
+            ok = ok and good
+        if "RouterChaos" in parts[0] and "retries" in p:
+            good = p["retries"] >= 1
+            status = "ok" if good else "REGRESSION"
+            print(f"{parts[0]}: {p['retries']:.0f} failover retries, "
+                  f"{p.get('backend_failures', 0):.0f} backend failures, "
+                  f"p99 {p.get('p99_ms', 0):.1f} ms (>= 1 retry required) "
+                  f"{status}", file=out)
+            ok = ok and good
     return ok
 
 
@@ -351,7 +383,12 @@ def main():
         "on 1 CPU), must write strictly fewer clear_slots (always "
         "enforced: epoch retirement clears zero slots), and its "
         "cycles_per_step must not regress > 15% against the previous "
-        "recorded run.")
+        "recorded run. RouterLoad benches drive the sharding router over "
+        "a forked 3-backend fleet with open-loop Poisson arrivals, every "
+        "response digest-guarded; the steady-state p99 must stay under "
+        "the 500 ms SLO on multi-core hosts (report-only on 1 CPU), and "
+        "the RouterChaos points (one backend SIGKILLed or SIGSTOPped "
+        "mid-run) must report at least one failover retry.")
 
     context = raw.get("context", {})
     run_record = {
@@ -415,6 +452,16 @@ def self_test():
             p["cycles_per_step"] = cycles
         return p
 
+    def router(p99, rps=40.0):
+        return {"name": f"BM_RouterLoadDigestGuard/{rps:.0f}/real_time",
+                "p50_ms": p99 / 3, "p99_ms": p99, "p999_ms": p99 * 1.5,
+                "offered_rps": rps}
+
+    def chaos(retries, kind="Kill"):
+        return {"name": f"BM_RouterChaos{kind}DigestGuard/real_time",
+                "p99_ms": 100.0, "retries": retries,
+                "backend_failures": retries}
+
     cases = [
         ("sparse_tail 10x passes", True,
          lambda: gates([tail(0, 1000.0), tail(1, 100.0)])),
@@ -461,6 +508,16 @@ def self_test():
          lambda: gates(
              [layout(0, 150.0, 5000.0), layout(1, 100.0, 0.0, cycles=120.0)],
              prior_runs=[_record([layout(1, 100.0, 0.0, cycles=100.0)])])),
+        ("router p99 under SLO passes", True,
+         lambda: gates([router(120.0)])),
+        ("router p99 over SLO fails", False,
+         lambda: gates([router(800.0)])),
+        ("router p99 over SLO report-only on 1 cpu", True,
+         lambda: gates([router(800.0)], num_cpus=1)),
+        ("router chaos with retries passes", True,
+         lambda: gates([chaos(3.0), chaos(2.0, kind="Stall")])),
+        ("router chaos without a retry fails even on 1 cpu", False,
+         lambda: gates([chaos(0.0)], num_cpus=1)),
         ("empty run record passes vacuously", True, lambda: gates([])),
     ]
     failures = 0

@@ -1,0 +1,97 @@
+#pragma once
+// Consistent-hash ring for the solve router.
+//
+// Each backend address is hashed onto `vnodes` points of a 64-bit ring;
+// a request key (the solve digest — see util/digest.hpp) routes to the
+// first point clockwise from hash(key). route() returns the FULL
+// preference order — every backend exactly once, in ring-successor
+// order — so the failover path ("retry on the next ring node") falls
+// out of the same structure as primary placement.
+//
+// The property the router leans on: removing a backend removes only its
+// own points, so a key whose primary survives keeps that primary —
+// membership changes remap only the keys that must move. All hashing is
+// seed-free and deterministic (util::mix64 over the address bytes), so
+// every router instance over the same backend list agrees on placement.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/prng.hpp"
+
+namespace hypercover::router {
+
+class HashRing {
+ public:
+  HashRing() = default;
+
+  explicit HashRing(const std::vector<std::string>& backends,
+                    std::uint32_t vnodes = 64) {
+    backends_ = static_cast<std::uint32_t>(backends.size());
+    points_.reserve(backends.size() * vnodes);
+    for (std::uint32_t b = 0; b < backends.size(); ++b) {
+      // SplitMix64 as the point mixer: a full-avalanche finalizer, so
+      // one backend's vnodes scatter over the whole ring instead of
+      // clustering (mix64 is a sequence fold, not an avalanche).
+      util::SplitMix64 mixer(hash_bytes(backends[b]));
+      for (std::uint32_t r = 0; r < vnodes; ++r) {
+        points_.emplace_back(mixer.next(), b);
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  [[nodiscard]] std::uint32_t backend_count() const noexcept {
+    return backends_;
+  }
+
+  /// Preference order for `key`: every backend index exactly once,
+  /// primary first, then ring successors. Empty ring returns {}.
+  [[nodiscard]] std::vector<std::uint32_t> route(std::uint64_t key) const {
+    std::vector<std::uint32_t> order;
+    if (points_.empty()) return order;
+    order.reserve(backends_);
+    std::vector<bool> seen(backends_, false);
+    // First point at or clockwise-after hash(key), wrapping. The key is
+    // re-avalanched so structured digests still spread over the ring.
+    const std::uint64_t h = util::SplitMix64(key).next();
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(h, std::uint32_t{0}));
+    for (std::size_t step = 0; step < points_.size(); ++step) {
+      if (it == points_.end()) it = points_.begin();
+      const std::uint32_t b = it->second;
+      if (!seen[b]) {
+        seen[b] = true;
+        order.push_back(b);
+        if (order.size() == backends_) break;
+      }
+      ++it;
+    }
+    return order;
+  }
+
+  /// Primary backend for `key` (route()[0]); ring must be non-empty.
+  [[nodiscard]] std::uint32_t primary(std::uint64_t key) const {
+    return route(key)[0];
+  }
+
+ private:
+  /// Order-sensitive fold of the address bytes through the repo's
+  /// transcript mixer — deterministic across processes and platforms.
+  static std::uint64_t hash_bytes(const std::string& s) noexcept {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi, for no-up-my-sleeve
+    for (const char c : s) {
+      h = util::mix64(h, static_cast<std::uint8_t>(c));
+    }
+    return util::mix64(h, s.size());
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;  // sorted
+  std::uint32_t backends_ = 0;
+};
+
+}  // namespace hypercover::router

@@ -1,6 +1,11 @@
 #include "server/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
+
+#include "util/prng.hpp"
 
 namespace hypercover::server {
 
@@ -35,8 +40,9 @@ Frame Client::round_trip(FrameTag request,
                       std::to_string(static_cast<unsigned>(reply.tag)));
 }
 
-void Client::connect(const std::string& address) {
-  sock_ = connect_to(address);
+void Client::connect(const std::string& address, std::uint32_t timeout_ms) {
+  sock_ = connect_to(address, timeout_ms);
+  sock_.set_recv_timeout(timeout_ms);
   PayloadWriter w;
   w.u32(kProtocolVersion);
   const Frame reply = round_trip(FrameTag::kHello, w.take(), FrameTag::kHelloOk);
@@ -101,9 +107,30 @@ GraphInfo Client::submit_graph_binary_path(const std::string& path) {
 WireResult Client::solve(std::string_view algorithm, const SolveKnobs& knobs) {
   PayloadWriter w;
   encode_solve(w, algorithm, knobs);
-  const Frame reply = round_trip(FrameTag::kSolve, w.take(), FrameTag::kResult);
-  PayloadReader r(reply.payload);
-  return decode_result(r);
+  const std::vector<std::uint8_t> payload = w.take();
+  // Jitter source seeded explicitly from the policy: the delay schedule
+  // is a pure function of (seed, attempt index), replayable run to run.
+  util::Xoshiro256StarStar jitter(busy_retry_.seed);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      const Frame reply =
+          round_trip(FrameTag::kSolve, payload, FrameTag::kResult);
+      PayloadReader r(reply.payload);
+      return decode_result(r);
+    } catch (const BusyError&) {
+      if (attempt >= busy_retry_.max_retries) throw;
+      const std::uint32_t shift = std::min(attempt, 31U);
+      const std::uint64_t ceiling =
+          std::min<std::uint64_t>(busy_retry_.max_delay_ms,
+                                  std::uint64_t(busy_retry_.base_delay_ms)
+                                      << shift);
+      // Half fixed, half jittered: bounded below so progress is made,
+      // bounded above by the policy cap.
+      const std::uint64_t half = ceiling / 2;
+      const std::uint64_t delay = half + jitter.below(half + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
 }
 
 ServerStats Client::stats() {

@@ -44,13 +44,30 @@ struct GraphInfo {
   std::uint32_t edges = 0;
 };
 
+/// Bounded exponential backoff for Busy replies to solve(). Attempt k
+/// (0-based) sleeps base_delay_ms << k, capped at max_delay_ms, with
+/// the upper half jittered from an explicitly seeded PRNG — so two
+/// clients with different seeds desynchronize instead of re-stampeding,
+/// while any one run replays the same delay sequence (the determinism
+/// contract: same seed, same schedule). max_retries == 0 keeps the
+/// historical throw-on-first-Busy behavior.
+struct BusyRetryPolicy {
+  std::uint32_t max_retries = 0;
+  std::uint32_t base_delay_ms = 10;
+  std::uint32_t max_delay_ms = 2000;
+  std::uint64_t seed = 0;
+};
+
 class Client {
  public:
   Client() = default;
 
   /// Connects and performs the Hello handshake. Throws SocketError if
   /// the server is unreachable, RemoteError on a version mismatch.
-  void connect(const std::string& address);
+  /// timeout_ms > 0 bounds both connection establishment and every
+  /// subsequent reply wait (SocketTimeout on expiry); 0 — the default,
+  /// right for local unix sockets — never times out.
+  void connect(const std::string& address, std::uint32_t timeout_ms = 0);
 
   [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
 
@@ -71,8 +88,16 @@ class Client {
   GraphInfo submit_graph_binary_path(const std::string& path);
 
   /// Solves the connection's current graph. The returned WireResult
-  /// carries the full cover and duals for local re-verification.
+  /// carries the full cover and duals for local re-verification. On a
+  /// Busy reply, retries per the configured BusyRetryPolicy before
+  /// letting the final BusyError escape; resending is safe because a
+  /// solve is idempotent (bit-identical) by contract.
   WireResult solve(std::string_view algorithm, const SolveKnobs& knobs = {});
+
+  /// Installs the Busy backoff policy for subsequent solve() calls.
+  void set_busy_retry(const BusyRetryPolicy& policy) noexcept {
+    busy_retry_ = policy;
+  }
 
   ServerStats stats();
 
@@ -91,6 +116,7 @@ class Client {
   GraphInfo submit_graph(std::uint8_t kind, std::string_view bytes);
 
   Socket sock_;
+  BusyRetryPolicy busy_retry_;
 };
 
 }  // namespace hypercover::server

@@ -1,6 +1,9 @@
 #include "server/socket.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -58,19 +61,69 @@ sockaddr_un unix_sockaddr(const std::string& path) {
   return addr;
 }
 
+/// Disables Nagle on a TCP socket. The wire protocol is small
+/// length-prefixed request/response frames; without this every reply
+/// under ~MSS waits for the delayed-ACK timer. Best-effort: failure
+/// (e.g. an exotic ai_family) only costs latency, never correctness.
+void set_tcp_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// connect(2) with an optional deadline. Returns 0 on success, else an
+/// errno value — ETIMEDOUT when the caller's deadline (not the kernel's)
+/// expired. With timeout_ms == 0 this is a plain blocking connect.
+int connect_once(int fd, const sockaddr* addr, socklen_t len,
+                 std::uint32_t timeout_ms) {
+  if (timeout_ms == 0) {
+    while (::connect(fd, addr, len) != 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    return 0;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno;
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) return errno;
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return errno;
+    if (rc == 0) return ETIMEDOUT;  // our deadline, not the kernel's
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+      return errno;
+    }
+    if (so_error != 0) return so_error;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) return errno;
+  return 0;
+}
+
 }  // namespace
 
 // --- Socket ---------------------------------------------------------------
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), recv_timeout_ms_(other.recv_timeout_ms_) {
+  other.fd_ = -1;
+  other.recv_timeout_ms_ = 0;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    recv_timeout_ms_ = other.recv_timeout_ms_;
     other.fd_ = -1;
+    other.recv_timeout_ms_ = 0;
   }
   return *this;
 }
@@ -92,6 +145,22 @@ bool Socket::recv_all(void* data, std::size_t size) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < size) {
+    if (recv_timeout_ms_ > 0) {
+      // Progress deadline: each poll window restarts when bytes arrive,
+      // so a slow-but-live peer is fine and a silent one is not.
+      pollfd pfd{fd_, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(recv_timeout_ms_));
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) throw_errno("poll");
+      if (rc == 0) {
+        throw SocketTimeout("recv timed out after " +
+                            std::to_string(recv_timeout_ms_) + " ms (got " +
+                            std::to_string(got) + " of " +
+                            std::to_string(size) + " bytes)");
+      }
+    }
     const ssize_t n = ::recv(fd_, p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -132,6 +201,7 @@ Listener::Listener(Listener&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       wake_read_(std::exchange(other.wake_read_, -1)),
       wake_write_(std::exchange(other.wake_write_, -1)),
+      is_tcp_(std::exchange(other.is_tcp_, false)),
       address_(std::move(other.address_)),
       unlink_path_(std::move(other.unlink_path_)) {}
 
@@ -198,6 +268,7 @@ Listener Listener::open(const std::string& address) {
       throw SocketError("getnameinfo failed for " + address);
     }
     lis.address_ = parsed.path_or_host + ":" + port;
+    lis.is_tcp_ = true;
   }
   if (::listen(lis.fd_, 64) != 0) throw_errno("listen " + address);
   return lis;
@@ -218,6 +289,7 @@ Socket Listener::accept() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       throw_errno("accept");
     }
+    if (is_tcp_) set_tcp_nodelay(conn);
     return Socket(conn);
   }
 }
@@ -229,14 +301,21 @@ void Listener::wake() noexcept {
   }
 }
 
-Socket connect_to(const std::string& address) {
+Socket connect_to(const std::string& address, std::uint32_t timeout_ms) {
   const ParsedAddress parsed = parse_address(address);
   if (parsed.is_unix) {
     Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!sock.valid()) throw_errno("socket");
     const sockaddr_un addr = unix_sockaddr(parsed.path_or_host);
-    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
+    const int rc = connect_once(sock.fd(),
+                                reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr), timeout_ms);
+    if (rc != 0) {
+      if (rc == ETIMEDOUT && timeout_ms > 0) {
+        throw SocketTimeout("connect " + address + " timed out after " +
+                            std::to_string(timeout_ms) + " ms");
+      }
+      errno = rc;
       throw_errno("connect " + address);
     }
     return sock;
@@ -257,13 +336,20 @@ Socket connect_to(const std::string& address) {
       last_errno = errno;
       continue;
     }
-    if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+    const int crc = connect_once(sock.fd(), ai->ai_addr, ai->ai_addrlen,
+                                 timeout_ms);
+    if (crc == 0) {
+      set_tcp_nodelay(sock.fd());
       ::freeaddrinfo(res);
       return sock;
     }
-    last_errno = errno;
+    last_errno = crc;
   }
   ::freeaddrinfo(res);
+  if (last_errno == ETIMEDOUT && timeout_ms > 0) {
+    throw SocketTimeout("connect " + address + " timed out after " +
+                        std::to_string(timeout_ms) + " ms");
+  }
   errno = last_errno;
   throw_errno("connect " + address);
 }

@@ -12,6 +12,7 @@
 // mid-frame truncation on top of these primitives.
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -27,6 +28,16 @@ class SocketError : public std::runtime_error {
 /// distinguishable from other socket failures because the framing layer
 /// treats it as a protocol violation (truncated frame), not an OS error.
 class SocketEof : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// An opt-in deadline expired (connect did not complete, or the peer
+/// sent nothing for the configured window). Typed so callers — the
+/// router failing over to the next ring node, the CLI turning a hung
+/// backend into a clean error — can tell "slow peer" from "broken
+/// peer" without string-matching.
+class SocketTimeout : public SocketError {
  public:
   using SocketError::SocketError;
 };
@@ -52,8 +63,19 @@ class Socket {
 
   /// Reads exactly `size` bytes. Returns false on EOF *before the first
   /// byte* (a clean close between messages); throws SocketError on EOF
-  /// mid-buffer or any OS error. size == 0 returns true.
+  /// mid-buffer or any OS error. size == 0 returns true. With a receive
+  /// timeout set, throws SocketTimeout if the peer sends nothing for a
+  /// whole window.
   [[nodiscard]] bool recv_all(void* data, std::size_t size);
+
+  /// Opt-in progress deadline for recv_all: if the peer delivers no
+  /// bytes for `ms` milliseconds, recv_all throws SocketTimeout.
+  /// Poll-based (no SO_RCVTIMEO, so it composes with EINTR retries).
+  /// 0 (the default) restores fully blocking reads.
+  void set_recv_timeout(std::uint32_t ms) noexcept { recv_timeout_ms_ = ms; }
+  [[nodiscard]] std::uint32_t recv_timeout_ms() const noexcept {
+    return recv_timeout_ms_;
+  }
 
   /// Half-closes the read side: a peer blocked reading sees EOF; our own
   /// pending reads return. The graceful-drain knock on live connections.
@@ -63,6 +85,7 @@ class Socket {
 
  private:
   int fd_ = -1;
+  std::uint32_t recv_timeout_ms_ = 0;  // 0 = block forever
 };
 
 /// A bound, listening socket. Move-only; closes (and unlinks its
@@ -84,6 +107,8 @@ class Listener {
 
   /// Accepts one connection; blocks until a client arrives or wake() is
   /// called. Returns an invalid Socket on wake (the shutdown signal).
+  /// Accepted TCP sockets get TCP_NODELAY: the protocol exchanges small
+  /// length-prefixed frames, exactly the traffic Nagle would delay.
   [[nodiscard]] Socket accept();
 
   /// Releases a blocked (or the next) accept() with an invalid Socket.
@@ -97,11 +122,17 @@ class Listener {
  private:
   int fd_ = -1;
   int wake_read_ = -1, wake_write_ = -1;  // self-pipe
+  bool is_tcp_ = false;
   std::string address_;
   std::string unlink_path_;  // non-empty for Unix sockets
 };
 
-/// Client side: connects to an address in the syntax above.
-[[nodiscard]] Socket connect_to(const std::string& address);
+/// Client side: connects to an address in the syntax above. Connected
+/// TCP sockets get TCP_NODELAY (see Listener::accept). timeout_ms > 0
+/// bounds connection establishment (non-blocking connect + poll) and
+/// maps expiry to SocketTimeout; 0 keeps the classic blocking connect —
+/// the right default for local unix sockets, where connect cannot hang.
+[[nodiscard]] Socket connect_to(const std::string& address,
+                                std::uint32_t timeout_ms = 0);
 
 }  // namespace hypercover::server
