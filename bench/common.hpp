@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include "congest/stats.hpp"
 #include "core/mwhvc.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "verify/verify.hpp"
 
@@ -130,6 +132,58 @@ inline void set_activity_counters(benchmark::State& state,
                                 static_cast<double>(net.agent_steps)
                           : 0.0;
 }
+
+/// Windows a process-global obs histogram so a bench point can report
+/// quantiles over just its OWN observations: the registry outlives the
+/// point (histograms accumulate across benchmark variants in the same
+/// process), so we snapshot the cumulative bucket counts at construction
+/// and answer quantiles from the delta. Same upper-bucket-bound
+/// semantics as obs::Histogram::quantile — the reported value is the
+/// log2 bucket bound holding the quantile, a deterministic
+/// over-estimate, which is what scripts/bench_json.py cross-checks
+/// against the wall-clock percentiles.
+class HistWindow {
+ public:
+  explicit HistWindow(const obs::Histogram& h) : h_(h) { reset(); }
+
+  void reset() {
+    for (int b = 0; b <= obs::Histogram::kBuckets; ++b) {
+      base_[b] = h_.cumulative(b);
+    }
+  }
+
+  /// Observations recorded since the last reset().
+  [[nodiscard]] std::uint64_t count() const {
+    return h_.cumulative(obs::Histogram::kBuckets) -
+           base_[obs::Histogram::kBuckets];
+  }
+
+  /// Upper log2 bucket bound (in the histogram's unit, ms for the
+  /// hc_*_ms families) of the q-quantile of observations since the last
+  /// reset(); 0 when none arrived.
+  [[nodiscard]] double quantile(double q) const {
+    std::uint64_t cum[obs::Histogram::kBuckets + 1];
+    for (int b = 0; b <= obs::Histogram::kBuckets; ++b) {
+      cum[b] = h_.cumulative(b) - base_[b];
+    }
+    const std::uint64_t n = cum[obs::Histogram::kBuckets];
+    if (n == 0) return 0.0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+    for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+      if (cum[b] >= rank) {
+        return b == 0 ? 1.0 : static_cast<double>(std::uint64_t{1} << b);
+      }
+    }
+    return static_cast<double>(std::uint64_t{1} << obs::Histogram::kBuckets);
+  }
+
+ private:
+  const obs::Histogram& h_;
+  std::uint64_t base_[obs::Histogram::kBuckets + 1] = {};
+};
 
 /// Prints the experiment banner + table and forwards to google-benchmark.
 /// Call as the tail of each bench main().

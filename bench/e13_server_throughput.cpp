@@ -213,6 +213,14 @@ void BM_ServerThroughputDigestGuard(benchmark::State& state) {
     return;
   }
 
+  // The server runs in-process, so its obs histograms are readable
+  // right here: window them so the folded quantiles cover only this
+  // point's requests (the registry is process-global and accumulates
+  // across benchmark variants).
+  bench::HistWindow queue_wait(obs::metrics().histogram("hc_batch_queue_wait_ms"));
+  bench::HistWindow solve_lat(
+      obs::metrics().histogram("hc_server_solve_latency_ms"));
+
   std::unique_ptr<server::SolveServer> srv;
   std::thread serve_thread;
   std::vector<server::Client> clients(concurrency);
@@ -268,6 +276,16 @@ void BM_ServerThroughputDigestGuard(benchmark::State& state) {
       served ? congest::ThreadPool::resolve(0) : concurrency);
   state.counters["p50_ms"] = lat.p50_ms;
   state.counters["p99_ms"] = lat.p99_ms;
+  if (served) {
+    // Server-side view of the same run, folded from the obs histograms:
+    // scheduler queue wait and solve latency as log2 bucket bounds.
+    // bench_json.py sanity-gates these against the wall-clock
+    // percentiles above.
+    state.counters["queue_wait_p50_ms"] = queue_wait.quantile(0.5);
+    state.counters["queue_wait_p99_ms"] = queue_wait.quantile(0.99);
+    state.counters["solve_hist_p50_ms"] = solve_lat.quantile(0.5);
+    state.counters["solve_hist_p99_ms"] = solve_lat.quantile(0.99);
+  }
   // items_per_second == requests per second, the serving metric.
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(kRequests));

@@ -293,10 +293,17 @@ void run_point(benchmark::State& state, double rate_rps, Chaos chaos) {
     return;
   }
 
+  // The router runs in-process (only the backends are forked), so its
+  // obs solve-latency histogram is readable here; window it per
+  // iteration so the folded quantiles cover only this point's requests.
+  bench::HistWindow router_lat(
+      obs::metrics().histogram("hc_router_solve_latency_ms"));
+
   Percentiles lat;
   std::uint64_t retries = 0, backend_failures = 0;
   double wall_s = 0;
   for (auto _ : state) {
+    router_lat.reset();
     Fleet fleet(kBackends);
     router::RouterOptions opts;
     opts.listen = "unix:" + fleet.dir + "/router.sock";
@@ -352,6 +359,11 @@ void run_point(benchmark::State& state, double rate_rps, Chaos chaos) {
   state.counters["p50_ms"] = lat.p50;
   state.counters["p99_ms"] = lat.p99;
   state.counters["p999_ms"] = lat.p999;
+  // Router-side view of the same run, folded from the obs histogram as
+  // log2 bucket bounds; bench_json.py sanity-gates these against the
+  // open-loop wall-clock percentiles above.
+  state.counters["router_hist_p50_ms"] = router_lat.quantile(0.5);
+  state.counters["router_hist_p99_ms"] = router_lat.quantile(0.99);
   state.counters["retries"] = static_cast<double>(retries);
   state.counters["backend_failures"] = static_cast<double>(backend_failures);
   state.SetItemsProcessed(state.iterations() *

@@ -10,7 +10,8 @@
 //   ./hypercover_cli --batch=manifest.txt [--threads=N] [--algo=<default>]
 //       [--batch-policy=rr|live] [--batch-quantum=32] [common knobs]
 //   ./hypercover_cli --connect=<unix:/path | host:port> [solve flags]
-//       [--binary] [--shutdown] [--server-stats] [--timeout-ms=N]
+//       [--binary] [--shutdown] [--server-stats] [--server-metrics]
+//       [--timeout-ms=N] [--trace-out=trace.json]
 //       [--busy-retries=4] [--busy-base-ms=10] [--busy-max-ms=2000]
 //
 // --convert=<out.hgb> writes the instance in the `hgb` binary format
@@ -36,6 +37,16 @@
 // retries are exhausted. --timeout-ms=N (opt-in, default 0 = wait
 // forever) bounds both connect and each server reply — a stalled or
 // unreachable server fails the run with exit 1 instead of hanging.
+//
+// --trace-out=<path> (a --connect flag) traces the solve end to end:
+// the client mints a trace id, the context rides the Solve frame, and
+// every layer's spans — client.solve, router.route / router.attempt,
+// server.admit / server.queue_wait, batch.slice, sampled engine.round —
+// come back on the Result and are written as one Chrome-trace JSON,
+// loadable in Perfetto / chrome://tracing (scripts/trace_check.py
+// validates it). --server-metrics prints the server's Prometheus text
+// exposition and exits. Both need a protocol-v4 server; tracing is pure
+// observation — the Solution bytes are bit-identical either way.
 //
 // --list-algos prints one `name<TAB>kind<TAB>description` line per
 // registered algorithm (the valid --algo values) and exits. Dispatch is
@@ -90,6 +101,7 @@
 #include "hypergraph/binary.hpp"
 #include "hypergraph/io.hpp"
 #include "hypergraph/stats.hpp"
+#include "obs/trace_json.hpp"
 #include "server/client.hpp"
 #include "util/cli.hpp"
 #include "util/digest.hpp"
@@ -132,7 +144,9 @@ enum class Served { kLocal, kCold, kCacheHit };
 /// key the server cache uses.
 std::string stats_json(const api::Solution& sol, std::uint32_t threads,
                        bool dense, bool legacy_layout, std::size_t cover_size,
-                       std::uint64_t solve_digest, Served served) {
+                       std::uint64_t solve_digest, Served served,
+                       std::uint32_t busy_retries,
+                       std::uint64_t busy_backoff_ms) {
   const congest::RunStats& net = sol.net;
   const verify::Certificate& cert = sol.certificate;
   std::ostringstream os;
@@ -157,6 +171,8 @@ std::string stats_json(const api::Solution& sol, std::uint32_t threads,
   if (served != Served::kLocal) {
     os << "  \"cache_hit\": " << (served == Served::kCacheHit ? "true" : "false")
        << ",\n";
+    os << "  \"busy_retries\": " << busy_retries << ",\n";
+    os << "  \"busy_backoff_ms\": " << busy_backoff_ms << ",\n";
   }
   os << "  \"agents_visited\": " << net.agents_visited << ",\n";
   os << "  \"agent_steps\": " << net.agent_steps << ",\n";
@@ -249,7 +265,9 @@ int parse_knobs(const util::Cli& cli, CommonKnobs& k) {
 /// trusting any server.
 int emit_solution(const util::Cli& cli, const hg::Hypergraph& g,
                   const api::Solution& sol, const CommonKnobs& knobs,
-                  std::uint64_t solve_digest, Served served) {
+                  std::uint64_t solve_digest, Served served,
+                  std::uint32_t busy_retries = 0,
+                  std::uint64_t busy_backoff_ms = 0) {
   const bool quiet = cli.has("quiet");
   const verify::Certificate& cert = sol.certificate;
   std::size_t cover_size = 0;
@@ -261,7 +279,8 @@ int emit_solution(const util::Cli& cli, const hg::Hypergraph& g,
   if (cli.has("stats-json")) {
     const std::string json =
         stats_json(sol, knobs.threads, knobs.dense, knobs.legacy_layout,
-                   cover_size, solve_digest, served);
+                   cover_size, solve_digest, served, busy_retries,
+                   busy_backoff_ms);
     const std::string out_path = cli.get("stats-json", std::string("-"));
     // A bare --stats-json (no =path) parses as "1": dump to stdout, and
     // suppress the human-readable block below so stdout stays parseable
@@ -363,6 +382,10 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
     if (!quiet) std::cerr << "server at " << address << " shut down\n";
     return 0;
   }
+  if (cli.has("server-metrics")) {
+    std::cout << client.metrics_text();
+    return 0;
+  }
   if (cli.has("server-stats")) {
     const server::ServerStats s = client.stats();
     std::cout << "connections: " << s.connections << "\n"
@@ -416,6 +439,17 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
   if (knobs.req.mwhvc.alpha_mode == core::AlphaMode::kFixed) {
     wire_knobs.use_alpha_fixed = true;
     wire_knobs.alpha_fixed = knobs.req.mwhvc.alpha_fixed;
+  }
+
+  const std::string trace_out = cli.get("trace-out", std::string());
+  if (!trace_out.empty() && trace_out != "1") {
+    if (client.version() < server::kProtocolVersion) {
+      std::cerr << "error: --trace-out needs a protocol-v4 server (peer "
+                   "negotiated v"
+                << client.version() << ")\n";
+      return 1;
+    }
+    client.set_tracing(true);
   }
 
   server::GraphInfo ginfo;
@@ -485,10 +519,22 @@ int run_connect(const util::Cli& cli, const CommonKnobs& knobs) {
     std::cerr << "served by " << address << ": "
               << (wire.cache_hit ? "cache hit" : "cold solve") << ", server "
               << (wire.cert_valid ? "certified" : "UNCERTIFIED") << "\n";
+    if (wire.busy_retries > 0) {
+      std::cerr << "busy backoff: " << wire.busy_retries << " retries, "
+                << wire.busy_backoff_ms << " ms slept\n";
+    }
     if (sol.net.rounds > 0) std::cerr << "network: " << sol.net << "\n";
   }
+  if (!trace_out.empty() && trace_out != "1") {
+    obs::write_chrome_trace(trace_out, wire.spans);
+    if (!quiet) {
+      std::cerr << "trace: " << wire.spans.size() << " spans written to "
+                << trace_out << "\n";
+    }
+  }
   return emit_solution(cli, g, sol, knobs, wire.solve_digest,
-                       wire.cache_hit ? Served::kCacheHit : Served::kCold);
+                       wire.cache_hit ? Served::kCacheHit : Served::kCold,
+                       wire.busy_retries, wire.busy_backoff_ms);
 }
 
 const char* outcome_name(api::RunOutcome outcome) {

@@ -9,21 +9,37 @@
 //       [--timeout-ms=30000] [--connect-timeout-ms=2000]
 //       [--probe-ms=200] [--probe-max-ms=5000] [--vnodes=64]
 //       [--no-forward-shutdown] [--quiet]
+//       [--metrics-path=metrics.prom] [--metrics-interval-ms=1000]
+//       [--trace-out=trace.json] [--verbose]
 //
 // Runs until a client sends Shutdown (which, unless
 // --no-forward-shutdown, also shuts down every backend — fleet
 // shutdown) or the process receives SIGINT/SIGTERM. Final fleet and
 // per-backend counters go to stderr.
 //
+// Observability: --metrics-path periodically rewrites the file with the
+// router's hc_router_* Prometheus exposition (also served on the
+// Metrics frame), plus one final dump at drain. --trace-out exports the
+// recorder's spans at drain as Chrome-trace JSON and turns on
+// trace_local. --verbose logs Busy forwards, failovers, and ring
+// exhaustion (with solve digest prefix and trace id) to stderr.
+//
 // Exit code 0 after a clean drain, 1 on startup/usage errors.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_json.hpp"
 #include "router/router.hpp"
 #include "util/cli.hpp"
 
@@ -36,6 +52,45 @@ router::Router* g_router = nullptr;
 extern "C" void handle_signal(int) {
   if (g_router != nullptr) g_router->request_stop();
 }
+
+void dump_metrics(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << obs::metrics().prometheus_text();
+}
+
+/// Rewrites --metrics-path every interval until stopped, then once more
+/// (the drain-final dump the CI smoke test greps).
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, std::uint32_t interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    if (!path_.empty()) thread_ = std::thread([this] { loop(); });
+  }
+  ~MetricsDumper() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    dump_metrics(path_);
+  }
+
+ private:
+  void loop() {
+    std::uint32_t slept = interval_ms_;  // dump immediately at startup
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (slept >= interval_ms_) {
+        dump_metrics(path_);
+        slept = 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      slept += 50;
+    }
+  }
+
+  const std::string path_;
+  const std::uint32_t interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
@@ -61,10 +116,11 @@ int run(const util::Cli& cli) {
   const std::int64_t probe = cli.get("probe-ms", 200);
   const std::int64_t probe_max = cli.get("probe-max-ms", 5000);
   const std::int64_t vnodes = cli.get("vnodes", 64);
+  const std::int64_t metrics_interval = cli.get("metrics-interval-ms", 1000);
   if (timeout < 0 || timeout > kU32Max || connect_timeout < 0 ||
       connect_timeout > kU32Max || probe < 1 || probe > kU32Max ||
       probe_max < probe || probe_max > kU32Max || vnodes < 1 ||
-      vnodes > 4096) {
+      vnodes > 4096 || metrics_interval < 50 || metrics_interval > kU32Max) {
     std::cerr << "error: a numeric flag is out of range\n";
     return 1;
   }
@@ -74,6 +130,14 @@ int run(const util::Cli& cli) {
   opts.probe_backoff_max_ms = static_cast<std::uint32_t>(probe_max);
   opts.vnodes = static_cast<std::uint32_t>(vnodes);
   opts.forward_shutdown = !cli.has("no-forward-shutdown");
+  opts.verbose = cli.has("verbose");
+  const std::string trace_out = cli.get("trace-out", std::string());
+  const std::string metrics_path = cli.get("metrics-path", std::string());
+  if (trace_out == "1" || metrics_path == "1") {
+    std::cerr << "error: --trace-out/--metrics-path need a file path\n";
+    return 1;
+  }
+  opts.trace_local = !trace_out.empty();
 
   router::Router rt(opts);
   rt.start();
@@ -86,8 +150,21 @@ int run(const util::Cli& cli) {
               << opts.backends.size() << " backends, " << opts.vnodes
               << " vnodes each\n";
   }
-  rt.serve();
+  {
+    const MetricsDumper dumper(
+        metrics_path, static_cast<std::uint32_t>(metrics_interval));
+    rt.serve();
+  }
   g_router = nullptr;
+
+  if (!trace_out.empty()) {
+    const auto spans = obs::recorder().collect_all();
+    obs::write_chrome_trace(trace_out, spans);
+    if (!cli.has("quiet")) {
+      std::cerr << "hypercover_router: " << spans.size()
+                << " spans written to " << trace_out << "\n";
+    }
+  }
 
   if (!cli.has("quiet")) {
     std::uint64_t solves = 0, failures = 0;

@@ -6,19 +6,36 @@
 //   ./hypercover_served [--listen=unix:/tmp/hypercover.sock | host:port]
 //       [--threads=0] [--cache-entries=256] [--max-inflight=64]
 //       [--max-queued-bytes=67108864] [--quantum=32] [--quiet]
+//       [--metrics-path=metrics.prom] [--metrics-interval-ms=1000]
+//       [--trace-out=trace.json] [--verbose]
 //
 // Runs until a client sends a Shutdown frame (hypercover_cli
 // --connect=<addr> --shutdown) or the process receives SIGINT/SIGTERM;
 // either way the server drains — in-flight solves finish and deliver
 // their Results — before exit. Final serving counters go to stderr.
 //
+// Observability: --metrics-path periodically rewrites the file with the
+// server's Prometheus text exposition (same bytes a Metrics frame or
+// hypercover_cli --server-metrics returns), plus one final dump at
+// drain. --trace-out exports every span still in the recorder at drain
+// as Chrome-trace JSON and turns on trace_local, so even untraced
+// requests leave spans to export. --verbose logs Busy rejections (with
+// solve digest prefix and trace id) to stderr.
+//
 // Exit code 0 after a clean drain, 1 on startup/usage errors.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <string>
+#include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_json.hpp"
 #include "server/server.hpp"
 #include "util/cli.hpp"
 
@@ -34,6 +51,45 @@ extern "C" void handle_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+void dump_metrics(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << obs::metrics().prometheus_text();
+}
+
+/// Rewrites --metrics-path every interval until stopped, then once more
+/// (the drain-final dump the CI smoke test greps).
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, std::uint32_t interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    if (!path_.empty()) thread_ = std::thread([this] { loop(); });
+  }
+  ~MetricsDumper() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    dump_metrics(path_);
+  }
+
+ private:
+  void loop() {
+    std::uint32_t slept = interval_ms_;  // dump immediately at startup
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (slept >= interval_ms_) {
+        dump_metrics(path_);
+        slept = 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      slept += 50;
+    }
+  }
+
+  const std::string path_;
+  const std::uint32_t interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 int run(const util::Cli& cli) {
   server::ServerOptions opts;
   opts.listen = cli.get("listen", opts.listen);
@@ -44,9 +100,11 @@ int run(const util::Cli& cli) {
   const std::int64_t max_queued =
       cli.get("max-queued-bytes", static_cast<std::int64_t>(64) << 20);
   const std::int64_t quantum = cli.get("quantum", 32);
+  const std::int64_t metrics_interval = cli.get("metrics-interval-ms", 1000);
   if (threads < 0 || threads > kU32Max || cache_entries < 0 ||
       max_inflight < 0 || max_inflight > kU32Max || max_queued < 0 ||
-      quantum < 1 || quantum > kU32Max) {
+      quantum < 1 || quantum > kU32Max || metrics_interval < 50 ||
+      metrics_interval > kU32Max) {
     std::cerr << "error: a numeric flag is out of range\n";
     return 1;
   }
@@ -55,6 +113,14 @@ int run(const util::Cli& cli) {
   opts.max_inflight = static_cast<std::uint32_t>(max_inflight);
   opts.max_queued_bytes = static_cast<std::uint64_t>(max_queued);
   opts.round_quantum = static_cast<std::uint32_t>(quantum);
+  opts.verbose = cli.has("verbose");
+  const std::string trace_out = cli.get("trace-out", std::string());
+  const std::string metrics_path = cli.get("metrics-path", std::string());
+  if (trace_out == "1" || metrics_path == "1") {
+    std::cerr << "error: --trace-out/--metrics-path need a file path\n";
+    return 1;
+  }
+  opts.trace_local = !trace_out.empty();
 
   server::SolveServer srv(opts);
   srv.start();
@@ -67,8 +133,21 @@ int run(const util::Cli& cli) {
               << " (cache " << opts.cache_entries << " entries, max "
               << opts.max_inflight << " in-flight jobs)\n";
   }
-  srv.serve();
+  {
+    const MetricsDumper dumper(
+        metrics_path, static_cast<std::uint32_t>(metrics_interval));
+    srv.serve();
+  }
   g_server = nullptr;
+
+  if (!trace_out.empty()) {
+    const auto spans = obs::recorder().collect_all();
+    obs::write_chrome_trace(trace_out, spans);
+    if (!cli.has("quiet")) {
+      std::cerr << "hypercover_served: " << spans.size()
+                << " spans written to " << trace_out << "\n";
+    }
+  }
 
   const server::ServerStats stats = srv.stats();
   if (!cli.has("quiet")) {

@@ -146,6 +146,7 @@ void check_fields(const std::vector<std::uint8_t>& payload,
         (void)r.u32();
         break;
       case server::FrameTag::kError:
+      case server::FrameTag::kMetricsReply:
         (void)r.str();
         break;
       case server::FrameTag::kSubmitGraph:

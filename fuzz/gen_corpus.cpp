@@ -171,6 +171,61 @@ int main(int argc, char** argv) {
                frame_bytes(server::FrameTag::kResult, w.take()));
   }
   {
+    // Protocol v4: a Solve carrying the optional 16-byte trace-context
+    // tail, so the fuzzer starts past the tail-presence branch.
+    server::PayloadWriter w;
+    server::SolveKnobs knobs;
+    knobs.eps = 0.25;
+    const server::TraceContext trace{0x1122334455667788ull,
+                                     0x99aabbccddeeff00ull};
+    server::encode_solve(w, "mwhvc", knobs, trace);
+    const auto f = frame_bytes(server::FrameTag::kSolve, w.take());
+    write_file(wire / "solve_traced.bin", f);
+    append(session, f);
+  }
+  {
+    // Protocol v4: a Result carrying the optional span-block tail.
+    server::WireResult res;
+    res.algorithm = "mwhvc";
+    res.completed = true;
+    res.rounds = 9;
+    res.cover_weight = 7;
+    res.transcript_hash = 0xfeedfacecafebeefull;
+    res.solve_digest = 0x0123456789abcdefull;
+    res.in_cover = {true, false, true, false};
+    res.duals = {0.5, 0.25, 0.0};
+    hypercover::obs::SpanRecord admit;
+    admit.trace_id = 0x1122334455667788ull;
+    admit.span_id = 2;
+    admit.parent_span_id = 1;
+    admit.start_ns = 1000;
+    admit.dur_ns = 500;
+    admit.proc = 2;  // obs::Proc::kServer
+    admit.set_name("server.admit");
+    hypercover::obs::SpanRecord slice = admit;
+    slice.span_id = 3;
+    slice.start_ns = 1200;
+    slice.dur_ns = 250;
+    slice.arg = 0;
+    slice.set_name("batch.slice");
+    res.spans = {admit, slice};
+    server::PayloadWriter w;
+    server::encode_result(w, res);
+    write_file(wire / "result_spans.bin",
+               frame_bytes(server::FrameTag::kResult, w.take()));
+  }
+  {
+    // Protocol v4 metrics scrape: empty request, Prometheus-text reply.
+    const auto f = frame_bytes(server::FrameTag::kMetrics, {});
+    write_file(wire / "metrics.bin", f);
+    append(session, f);
+    server::PayloadWriter w;
+    w.str("# TYPE hc_server_solves_total counter\n"
+          "hc_server_solves_total 5\n");
+    write_file(wire / "metrics_reply.bin",
+               frame_bytes(server::FrameTag::kMetricsReply, w.take()));
+  }
+  {
     server::PayloadWriter w;
     server::ServerStats s;
     s.connections = 3;

@@ -96,6 +96,9 @@ def summarize(raw):
                        "dense_passes", "batch", "concurrency", "p50_ms",
                        "p99_ms", "p999_ms", "offered_rps", "achieved_rps",
                        "retries", "backend_failures",
+                       "queue_wait_p50_ms", "queue_wait_p99_ms",
+                       "solve_hist_p50_ms", "solve_hist_p99_ms",
+                       "router_hist_p50_ms", "router_hist_p99_ms",
                        "n", "edges", "incidences", "bytes",
                        "epoch_arena", "clear_slots", "step_cycles",
                        "cycles_per_step"):
@@ -320,6 +323,51 @@ def check_gates(run_record, prior_runs=(), out=sys.stderr):
                   f"p99 {p.get('p99_ms', 0):.1f} ms (>= 1 retry required) "
                   f"{status}", file=out)
             ok = ok and good
+
+    # Gates: obs histogram fold (e13/e16). The in-process served and
+    # router benches also report the SERVER-side view of each run, folded
+    # from the process-global obs histograms (hc_batch_queue_wait_ms,
+    # hc_server_solve_latency_ms, hc_router_solve_latency_ms) as log2
+    # bucket upper bounds. Three checks per family:
+    #   * presence: the counters must exist and be nonzero on every
+    #     served / steady-router point — ALWAYS enforced, a missing or
+    #     zero fold means the obs wiring came undone;
+    #   * monotonicity: hist p50 <= hist p99 — ALWAYS enforced, bucket
+    #     quantiles are monotone by construction;
+    #   * wall-clock consistency: hist p99 <= 2x wall p99 + 1 ms (the
+    #     log2 bucket bound over-estimates by at most 2x, and the
+    #     server-side time is a subset of what the clients measured) —
+    #     enforced on multi-CPU hosts, report-only on 1 CPU.
+    def hist_fold(p, label, families):
+        nonlocal ok
+        wall = p.get("p99_ms", 0)
+        for fam in families:
+            p50 = p.get(f"{fam}_p50_ms")
+            p99 = p.get(f"{fam}_p99_ms")
+            if p50 is None or p99 is None:
+                print(f"{label}: {fam} histogram fold missing — obs "
+                      f"counters are unwired REGRESSION", file=out)
+                ok = False
+                continue
+            mono = 0 < p50 <= p99
+            within = p99 <= 2 * wall + 1
+            enforced = num_cpus >= 2
+            good = mono and (within or not enforced)
+            status = "ok" if good else "REGRESSION"
+            if good and not within:
+                status += " (wall consistency report-only: 1 CPU)"
+            print(f"{label}: {fam} hist p50 {p50:.0f} / p99 {p99:.0f} ms "
+                  f"vs wall p99 {wall:.1f} ms {status}", file=out)
+            ok = ok and good
+
+    for p in run_record["benchmarks"]:
+        parts = p["name"].split("/")
+        if "ServerThroughput" in parts[0] and len(parts) >= 3 \
+                and parts[2] == "1":
+            hist_fold(p, f"{parts[0]}/{parts[1]} obs-fold",
+                      ("queue_wait", "solve_hist"))
+        if "RouterLoad" in parts[0] and "p99_ms" in p:
+            hist_fold(p, f"{parts[0]} obs-fold", ("router_hist",))
     return ok
 
 
@@ -388,7 +436,14 @@ def main():
         "response digest-guarded; the steady-state p99 must stay under "
         "the 500 ms SLO on multi-core hosts (report-only on 1 CPU), and "
         "the RouterChaos points (one backend SIGKILLed or SIGSTOPped "
-        "mid-run) must report at least one failover retry.")
+        "mid-run) must report at least one failover retry. The served and "
+        "steady-router points also fold the process-global obs histograms "
+        "(hc_batch_queue_wait_ms, hc_server_solve_latency_ms, "
+        "hc_router_solve_latency_ms) into *_p50_ms / *_p99_ms counters as "
+        "log2 bucket upper bounds; the fold must be present and monotone "
+        "(always enforced) and its p99 must stay within 2x + 1 ms of the "
+        "client-measured wall p99 (multi-core hosts; report-only on "
+        "1 CPU).")
 
     context = raw.get("context", {})
     run_record = {
@@ -437,9 +492,16 @@ def self_test():
         return {"name": f"BM_BatchThroughputDigestGuard/{size}/{mode}",
                 "items_per_second": jps, "threads": threads}
 
-    def server(mode, rps, threads=4, conc=8):
-        return {"name": f"BM_ServerThroughputDigestGuard/{conc}/{mode}",
-                "items_per_second": rps, "threads": threads}
+    def server(mode, rps, threads=4, conc=8, hist=True, hist_p50=8.0,
+               hist_p99=32.0):
+        p = {"name": f"BM_ServerThroughputDigestGuard/{conc}/{mode}",
+             "items_per_second": rps, "threads": threads, "p99_ms": 40.0}
+        if mode == 1 and hist:
+            p["queue_wait_p50_ms"] = 2.0
+            p["queue_wait_p99_ms"] = 16.0
+            p["solve_hist_p50_ms"] = hist_p50
+            p["solve_hist_p99_ms"] = hist_p99
+        return p
 
     def load(mode, ms, n=120000):
         return {"name": f"BM_ParseVsMapDigestGuard/{n}/{mode}",
@@ -452,10 +514,16 @@ def self_test():
             p["cycles_per_step"] = cycles
         return p
 
-    def router(p99, rps=40.0):
-        return {"name": f"BM_RouterLoadDigestGuard/{rps:.0f}/real_time",
-                "p50_ms": p99 / 3, "p99_ms": p99, "p999_ms": p99 * 1.5,
-                "offered_rps": rps}
+    def router(p99, rps=40.0, hist=True, hist_p50=None, hist_p99=None):
+        p = {"name": f"BM_RouterLoadDigestGuard/{rps:.0f}/real_time",
+             "p50_ms": p99 / 3, "p99_ms": p99, "p999_ms": p99 * 1.5,
+             "offered_rps": rps}
+        if hist:
+            p["router_hist_p50_ms"] = \
+                hist_p50 if hist_p50 is not None else max(1.0, p99 / 4)
+            p["router_hist_p99_ms"] = \
+                hist_p99 if hist_p99 is not None else max(1.0, p99)
+        return p
 
     def chaos(retries, kind="Kill"):
         return {"name": f"BM_RouterChaos{kind}DigestGuard/real_time",
@@ -518,6 +586,21 @@ def self_test():
          lambda: gates([chaos(3.0), chaos(2.0, kind="Stall")])),
         ("router chaos without a retry fails even on 1 cpu", False,
          lambda: gates([chaos(0.0)], num_cpus=1)),
+        ("obs fold missing on a served point fails even on 1 cpu", False,
+         lambda: gates([server(0, 50.0), server(1, 100.0, hist=False)],
+                       num_cpus=1)),
+        ("obs fold p50 above p99 fails even on 1 cpu", False,
+         lambda: gates([server(0, 50.0), server(1, 100.0, hist_p50=64.0)],
+                       num_cpus=1)),
+        ("obs fold p99 inflated vs wall fails", False,
+         lambda: gates([server(0, 50.0), server(1, 100.0, hist_p99=512.0)])),
+        ("obs fold p99 inflated vs wall report-only on 1 cpu", True,
+         lambda: gates([server(0, 50.0), server(1, 100.0, hist_p99=512.0)],
+                       num_cpus=1)),
+        ("router obs fold missing fails even on 1 cpu", False,
+         lambda: gates([router(120.0, hist=False)], num_cpus=1)),
+        ("router obs fold inflated vs wall fails", False,
+         lambda: gates([router(120.0, hist_p99=1024.0)])),
         ("empty run record passes vacuously", True, lambda: gates([])),
     ]
     failures = 0

@@ -16,7 +16,14 @@ vigilance: it walks the C++ translation units under src/ and reports any
   * pointer-identity ordering or hashing (uintptr_t round-trips,
     std::hash over pointer types) -- rule `pointer-identity`,
   * thread-identity reads (this_thread::get_id, pthread_self) -- rule
-    `thread-id`.
+    `thread-id`,
+  * observability state escaping the serving layer (obs:: uses or
+    #include "obs/..." in files outside src/obs, src/server, src/router,
+    src/api/batch*) -- rule `obs-boundary`. Spans and metrics carry
+    wall-clock timestamps and random ids; if they reached the solver
+    core they could leak into Solutions, transcripts, or digests and
+    break the bit-identical contract, so the boundary is enforced by
+    path, not by review.
 
 Audited exceptions are allowlisted in the source with an annotation
 comment carrying a real justification (>= {min_reason} characters):
@@ -110,7 +117,28 @@ RULES = [
     ),
 ]
 
-RULE_IDS = {rule_id for rule_id, _, _, _ in RULES} | {"bad-annotation"}
+RULE_IDS = {rule_id for rule_id, _, _, _ in RULES} | {"bad-annotation",
+                                                     "obs-boundary"}
+
+# Path-aware rule: observability state stays in the serving layer. A
+# file whose path contains one of these prefixes may use obs::; any
+# other file may not. The include pattern is matched against the RAW
+# line (the lexer blanks the quoted header name), gated on the line
+# being a preprocessor directive; the code pattern runs on stripped
+# lines like every other rule, so comments and strings stay inert.
+OBS_ALLOWED_PREFIXES = ("src/obs/", "src/server/", "src/router/",
+                        "src/api/batch")
+OBS_CODE_RE = re.compile(r"\bobs::")
+OBS_INCLUDE_RE = re.compile(r'#\s*include\s*"obs/')
+OBS_MESSAGE = (
+    "observability spans/metrics carry wall-clock time and random ids; "
+    "obs:: must stay out of the deterministic core (allowed only under "
+    + ", ".join(OBS_ALLOWED_PREFIXES) + ")")
+
+
+def obs_allowed_path(path):
+    s = str(path).replace("\\", "/")
+    return any(prefix in s for prefix in OBS_ALLOWED_PREFIXES)
 
 
 def strip_comments_and_literals(text):
@@ -213,6 +241,8 @@ def scan_text(text, path="<memory>", engine="regex"):
     else:
         code_lines = regex_engine_lines(text)
     suppressed, findings = collect_annotations(text)
+    obs_allowed = obs_allowed_path(path)
+    raw_lines = text.split("\n")
     for idx, line in enumerate(code_lines):
         if not line:
             continue
@@ -226,6 +256,14 @@ def scan_text(text, path="<memory>", engine="regex"):
             if idx in suppressed:
                 continue
             findings.append((idx, rule_id, f"'{m.group(0).strip()}' - {message}"))
+        if not obs_allowed and idx not in suppressed:
+            m = OBS_CODE_RE.search(line)
+            if m is None and is_preprocessor and idx < len(raw_lines):
+                m = OBS_INCLUDE_RE.search(raw_lines[idx])
+            if m is not None:
+                findings.append(
+                    (idx, "obs-boundary",
+                     f"'{m.group(0).strip()}' - {OBS_MESSAGE}"))
     findings.sort()
     return findings
 
@@ -306,6 +344,26 @@ def self_test(engine):
         got = scan_text(text, engine=engine)
         if len(got) != want:
             failures.append(f"inline case {text!r}: expected {want} "
+                            f"finding(s), got {got}")
+        checked += 1
+    # obs-boundary is path-aware: the same line is a finding in the
+    # solver core and clean in the serving layer.
+    obs_cases = [
+        ("auto& c = obs::metrics();\n", "src/congest/algo.cpp", 1),
+        ("auto& c = obs::metrics();\n", "src/server/server.cpp", 0),
+        ('#include "obs/obs.hpp"\n', "src/engine/engine.cpp", 1),
+        ('#include "obs/obs.hpp"\n', "src/api/batch.cpp", 0),
+        ("// obs::metrics() in a comment is inert\n",
+         "src/engine/engine.cpp", 0),
+        ('const char* s = "obs::metrics";\n', "src/engine/engine.cpp", 0),
+        ("// [[hypercover::nondet_ok: audited: reporting-only hook, "
+         "excluded from the digest]]\n"
+         "auto& c = obs::metrics();\n", "src/engine/engine.cpp", 0),
+    ]
+    for text, path, want in obs_cases:
+        got = scan_text(text, path=path, engine=engine)
+        if len(got) != want:
+            failures.append(f"obs case {text!r} at {path}: expected {want} "
                             f"finding(s), got {got}")
         checked += 1
     if failures:

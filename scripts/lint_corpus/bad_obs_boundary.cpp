@@ -1,0 +1,24 @@
+// Known-bad corpus: observability state escaping the serving layer.
+// This file's path is outside the allowed prefixes (src/obs, src/server,
+// src/router, src/api/batch*), so both the include and the obs:: uses
+// must fire. obs:: inside comments and string literals is inert, and a
+// real audit annotation suppresses the rule like any other. This file is
+// lint input, not part of the build.
+#include "obs/metrics.hpp"  // LINT-EXPECT: obs-boundary
+
+void core_leaks_metrics(int rounds) {
+  obs::metrics().counter("hc_core_rounds_total").inc();  // LINT-EXPECT: obs-boundary
+  auto span_id = obs::new_id();              // LINT-EXPECT: obs-boundary
+  (void)span_id;
+  (void)rounds;
+}
+
+void inert_mentions() {
+  // A comment naming obs::recorder() is not a finding.
+  const char* doc = "see obs::metrics() for the serving-layer registry";
+  (void)doc;
+}
+
+// [[hypercover::nondet_ok: audited: test-only hook asserting the
+//    registry is empty; the value never reaches a transcript.]]
+bool audited_probe() { return obs::metrics().prometheus_text().empty(); }

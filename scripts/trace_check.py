@@ -1,0 +1,429 @@
+#!/usr/bin/env python3
+"""Validate a hypercover Chrome-trace JSON export (obs/trace_json.cpp).
+
+Checks the schema and the span tree of a --trace-out file:
+
+  * top level: an object with "traceEvents" (list); complete events are
+    ph "X" with name/cat/ts/dur/pid/tid and an args object carrying
+    trace_id / span_id / parent_span_id as 0x-prefixed 16-digit hex
+    strings plus an integer "arg";
+  * span ids are unique within the file;
+  * every parent_span_id is either the null id (a root span) or the id
+    of another span in the same trace;
+  * a child's [ts, ts+dur] interval nests inside its parent's, within a
+    small tolerance for the nanosecond->microsecond rounding (spans are
+    recorded on one host clock, so containment must hold end to end);
+  * pid is a known process layer (0 client, 1 router, 2 server).
+
+Usage:
+  trace_check.py trace.json [--require-layers=client,router,server,scheduler,engine]
+      [--allow-partial]
+  trace_check.py --self-test
+
+--allow-partial accepts spans whose parent lives in another process's
+recorder (the daemons' --trace-out drain exports are local views; only
+a client-side export holds the whole stitched tree).
+
+--require-layers asserts the trace touched each named layer, by span
+name prefix: client -> client.*, router -> router.*, server -> server.*,
+scheduler -> batch.*, engine -> engine.*. Exit 0 when the file
+validates, 1 with one "trace_check: ..." line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+NULL_ID = "0x0000000000000000"
+KNOWN_PIDS = {0, 1, 2}
+
+# --require-layers name -> span-name prefix.
+LAYER_PREFIXES = {
+    "client": "client.",
+    "router": "router.",
+    "server": "server.",
+    "scheduler": "batch.",
+    "engine": "engine.",
+}
+
+# ts/dur are microseconds printed with 3 decimals from integer
+# nanoseconds, so each endpoint can be off by < 0.001 us; parent and
+# child ends can each round the other way.
+ROUNDING_EPS_US = 0.002
+
+
+def is_hex_id(value) -> bool:
+    if not isinstance(value, str) or len(value) != 18:
+        return False
+    if not value.startswith("0x"):
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def check_trace(doc, allow_partial: bool = False) -> list[str]:
+    """Returns a list of problems; empty means the trace validates."""
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["top level must be an object with a traceEvents list"]
+
+    spans = []
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            continue  # metadata (process_name) — free form
+        if ph != "X":
+            errors.append(f"event {i}: unknown ph {ph!r} (expected X or M)")
+            continue
+        for key in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+            if key not in ev:
+                errors.append(f"event {i}: missing {key!r}")
+        if errors and errors[-1].startswith(f"event {i}:"):
+            continue
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            errors.append(f"event {i}: name must be a non-empty string")
+            continue
+        if not isinstance(ev["ts"], (int, float)) or not isinstance(
+            ev["dur"], (int, float)
+        ):
+            errors.append(f"event {i} ({ev['name']}): ts/dur must be numbers")
+            continue
+        if ev["dur"] < 0:
+            errors.append(f"event {i} ({ev['name']}): negative dur")
+            continue
+        if ev["pid"] not in KNOWN_PIDS:
+            errors.append(
+                f"event {i} ({ev['name']}): pid {ev['pid']!r} is not a "
+                f"known process layer {sorted(KNOWN_PIDS)}"
+            )
+        args = ev["args"]
+        if not isinstance(args, dict):
+            errors.append(f"event {i} ({ev['name']}): args must be an object")
+            continue
+        bad_arg = False
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if not is_hex_id(args.get(key)):
+                errors.append(
+                    f"event {i} ({ev['name']}): args.{key} must be a "
+                    "0x-prefixed 16-digit hex string"
+                )
+                bad_arg = True
+        if not isinstance(args.get("arg"), int):
+            errors.append(f"event {i} ({ev['name']}): args.arg must be an int")
+            bad_arg = True
+        if bad_arg:
+            continue
+        if args["span_id"] == NULL_ID:
+            errors.append(f"event {i} ({ev['name']}): span_id is the null id")
+            continue
+        spans.append(ev)
+
+    by_id = {}
+    for ev in spans:
+        sid = ev["args"]["span_id"]
+        if sid in by_id:
+            errors.append(
+                f"span {ev['name']}: duplicate span_id {sid} "
+                f"(also {by_id[sid]['name']})"
+            )
+        else:
+            by_id[sid] = ev
+
+    roots = 0
+    for ev in spans:
+        parent_id = ev["args"]["parent_span_id"]
+        if parent_id == NULL_ID:
+            roots += 1
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            if allow_partial:
+                roots += 1  # parent lives in another process's recorder
+            else:
+                errors.append(
+                    f"span {ev['name']}: parent {parent_id} not in the trace"
+                )
+            continue
+        if parent["args"]["trace_id"] != ev["args"]["trace_id"]:
+            errors.append(
+                f"span {ev['name']}: parent {parent['name']} belongs to a "
+                "different trace"
+            )
+            continue
+        if ev["ts"] + ROUNDING_EPS_US < parent["ts"] or (
+            ev["ts"] + ev["dur"]
+            > parent["ts"] + parent["dur"] + ROUNDING_EPS_US
+        ):
+            errors.append(
+                f"span {ev['name']} [{ev['ts']}, {ev['ts'] + ev['dur']}] "
+                f"escapes its parent {parent['name']} "
+                f"[{parent['ts']}, {parent['ts'] + parent['dur']}]"
+            )
+    if spans and roots == 0:
+        errors.append("no root span (every parent_span_id resolves inward)")
+    return errors
+
+
+def check_layers(doc, layers: list[str]) -> list[str]:
+    names = {
+        ev["name"]
+        for ev in doc.get("traceEvents", [])
+        if isinstance(ev, dict) and ev.get("ph") == "X"
+    }
+    errors = []
+    for layer in layers:
+        prefix = LAYER_PREFIXES.get(layer)
+        if prefix is None:
+            errors.append(
+                f"unknown layer {layer!r} (choose from "
+                f"{sorted(LAYER_PREFIXES)})"
+            )
+            continue
+        if not any(n.startswith(prefix) for n in names):
+            errors.append(f"no span from the {layer} layer ({prefix}*)")
+    return errors
+
+
+# --- self test --------------------------------------------------------------
+
+
+def _span(name, sid, parent, ts, dur, pid=2, trace="0x" + "ab" * 8):
+    return {
+        "name": name,
+        "cat": "hypercover",
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": 7,
+        "args": {
+            "trace_id": trace,
+            "span_id": sid,
+            "parent_span_id": parent,
+            "arg": 0,
+        },
+    }
+
+
+def _sid(n: int) -> str:
+    return f"0x{n:016x}"
+
+
+def self_test() -> int:
+    good = {
+        "displayTimeUnit": "ms",
+        "traceEvents": [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "client"},
+            },
+            _span("client.solve", _sid(1), NULL_ID, 100.0, 50.0, pid=0),
+            _span("router.route", _sid(2), _sid(1), 101.0, 48.0, pid=1),
+            _span("router.attempt", _sid(3), _sid(2), 102.0, 46.0, pid=1),
+            _span("server.admit", _sid(4), _sid(3), 103.0, 1.0),
+            _span("batch.slice", _sid(5), _sid(3), 105.0, 40.0),
+            _span("engine.round", _sid(6), _sid(5), 106.0, 2.0),
+        ],
+    }
+    cases = [
+        ("good trace", good, 0, None),
+        # Rounding tolerance: child end exceeds parent end by < eps.
+        (
+            "rounding tolerance",
+            {
+                "traceEvents": [
+                    _span("a", _sid(1), NULL_ID, 100.0, 50.0),
+                    _span("b", _sid(2), _sid(1), 99.999, 50.002),
+                ]
+            },
+            0,
+            None,
+        ),
+        (
+            "not an object",
+            [],
+            1,
+            "top level",
+        ),
+        (
+            "duplicate span id",
+            {
+                "traceEvents": [
+                    _span("a", _sid(1), NULL_ID, 0, 10),
+                    _span("b", _sid(1), NULL_ID, 1, 2),
+                ]
+            },
+            1,
+            "duplicate span_id",
+        ),
+        (
+            "dangling parent",
+            {"traceEvents": [_span("a", _sid(1), _sid(9), 0, 10)]},
+            1,
+            "not in the trace",
+        ),
+        (
+            "dangling parent allowed when partial",
+            {
+                "traceEvents": [_span("a", _sid(1), _sid(9), 0, 10)],
+                "_allow_partial": True,
+            },
+            0,
+            None,
+        ),
+        (
+            "child escapes parent",
+            {
+                "traceEvents": [
+                    _span("a", _sid(1), NULL_ID, 100.0, 10.0),
+                    _span("b", _sid(2), _sid(1), 105.0, 10.0),
+                ]
+            },
+            1,
+            "escapes its parent",
+        ),
+        (
+            "cross-trace parent",
+            {
+                "traceEvents": [
+                    _span("a", _sid(1), NULL_ID, 0, 100),
+                    _span("b", _sid(2), _sid(1), 1, 2, trace="0x" + "cd" * 8),
+                ]
+            },
+            1,
+            "different trace",
+        ),
+        (
+            "no root",
+            {
+                "traceEvents": [
+                    _span("a", _sid(1), _sid(2), 0, 100),
+                    _span("b", _sid(2), _sid(1), 0, 100),
+                ]
+            },
+            1,
+            "no root span",
+        ),
+        (
+            "bad hex id",
+            {
+                "traceEvents": [
+                    {
+                        **_span("a", _sid(1), NULL_ID, 0, 10),
+                        "args": {
+                            "trace_id": "42",
+                            "span_id": _sid(1),
+                            "parent_span_id": NULL_ID,
+                            "arg": 0,
+                        },
+                    }
+                ]
+            },
+            1,
+            "hex string",
+        ),
+        (
+            "unknown pid",
+            {"traceEvents": [_span("a", _sid(1), NULL_ID, 0, 10, pid=9)]},
+            1,
+            "process layer",
+        ),
+        (
+            "negative dur",
+            {"traceEvents": [_span("a", _sid(1), NULL_ID, 0, -1)]},
+            1,
+            "negative dur",
+        ),
+    ]
+    failures = 0
+    for label, doc, want_rc, want_substr in cases:
+        partial = isinstance(doc, dict) and doc.get("_allow_partial", False)
+        errors = check_trace(doc, allow_partial=partial)
+        rc = 1 if errors else 0
+        if rc != want_rc:
+            print(f"self-test FAIL [{label}]: rc {rc}, want {want_rc}: {errors}")
+            failures += 1
+        elif want_substr and not any(want_substr in e for e in errors):
+            print(
+                f"self-test FAIL [{label}]: no error mentions "
+                f"{want_substr!r}: {errors}"
+            )
+            failures += 1
+
+    # Layer coverage on the good trace.
+    all_layers = ["client", "router", "server", "scheduler", "engine"]
+    if check_layers(good, all_layers):
+        print("self-test FAIL [layers]: good trace should cover all layers")
+        failures += 1
+    server_only = {"traceEvents": [_span("server.admit", _sid(1), NULL_ID, 0, 1)]}
+    if not check_layers(server_only, ["engine"]):
+        print("self-test FAIL [layers]: server-only trace claims engine spans")
+        failures += 1
+    if not check_layers(good, ["bogus"]):
+        print("self-test FAIL [layers]: unknown layer name not rejected")
+        failures += 1
+
+    if failures:
+        print(f"self-test: {failures} failures")
+        return 1
+    print(f"self-test: {len(cases)} trace cases + layer checks OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="Chrome-trace JSON file")
+    parser.add_argument(
+        "--require-layers",
+        default="",
+        help="comma list of layers that must appear "
+        "(client,router,server,scheduler,engine)",
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="accept spans whose parent is in another process's export",
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        parser.error("a trace file (or --self-test) is required")
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as ex:
+        print(f"trace_check: cannot read {args.trace}: {ex}")
+        return 1
+
+    errors = check_trace(doc, allow_partial=args.allow_partial)
+    layers = [l for l in args.require_layers.split(",") if l]
+    errors += check_layers(doc, layers)
+    for err in errors:
+        print(f"trace_check: {err}")
+    if errors:
+        return 1
+    n_spans = sum(
+        1
+        for ev in doc["traceEvents"]
+        if isinstance(ev, dict) and ev.get("ph") == "X"
+    )
+    print(f"trace_check: {args.trace}: {n_spans} spans OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

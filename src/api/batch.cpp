@@ -16,6 +16,8 @@
 
 #include "api/run.hpp"
 #include "congest/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "verify/verify.hpp"
 
 namespace hypercover::api {
@@ -44,6 +46,8 @@ struct BatchScheduler::Impl {
     std::exception_ptr error;
     std::list<Slot>::iterator self;  // service mode: position to erase
     bool service = false;
+    std::uint64_t submit_ns = 0;  // obs clock at enqueue (queue-wait span)
+    std::uint32_t slices = 0;     // scheduling slices driven so far
   };
 
   explicit Impl(const BatchOptions& options)
@@ -53,6 +57,13 @@ struct BatchScheduler::Impl {
 
   BatchOptions opts;
   congest::ThreadPool pool;
+
+  // Cached obs instruments (the registry is process-global; lookups are
+  // cold-path). Observation only — nothing here feeds a Solution.
+  obs::Histogram& m_queue_wait_ms =
+      obs::metrics().histogram("hc_batch_queue_wait_ms");
+  obs::Histogram& m_slices_per_solve =
+      obs::metrics().histogram("hc_batch_slices_per_solve");
 
   // --- shared work-queue state (one solve_all() OR one service session) ----
 
@@ -108,18 +119,46 @@ struct BatchScheduler::Impl {
     if (s.job.request.certify) {
       sol.certificate = verify::certify(*s.job.graph, sol.in_cover, sol.duals);
     }
+    m_slices_per_solve.observe(s.slices);
     s.result = std::move(sol);
     if (s.job.on_complete) s.job.on_complete(s.result);
+  }
+
+  /// Records the server.queue_wait span and histogram for a slot whose
+  /// first slice just started: the interval from submit to first step is
+  /// exactly the time the job sat runnable behind other work.
+  void note_queue_wait(const Slot& s) {
+    if (s.submit_ns == 0) return;
+    const std::uint64_t waited_ns = obs::now_ns() - s.submit_ns;
+    m_queue_wait_ms.observe(waited_ns / 1'000'000);
+    if (s.job.trace.trace_id == 0) return;
+    obs::SpanRecord qw;
+    qw.trace_id = s.job.trace.trace_id;
+    qw.span_id = obs::new_id();
+    qw.parent_span_id = s.job.trace.parent_span_id;
+    qw.start_ns = s.submit_ns;
+    qw.dur_ns = waited_ns;
+    qw.proc = static_cast<std::uint8_t>(obs::Proc::kServer);
+    qw.set_name("server.queue_wait");
+    obs::recorder().record(qw);
   }
 
   /// Advances the slot by one scheduling slice. Returns true when the job
   /// is finished (completed, stopped, or failed) and must not requeue.
   bool run_slice(Slot& s) {
     const BatchJob& job = s.job;
+    // One batch.slice span per scheduling slice (arg = slice index),
+    // ended explicitly BEFORE on_complete/on_error fires so a handler
+    // collecting the trace right after delivery sees every slice.
+    obs::Span slice_span(obs::recorder(), "batch.slice", obs::Proc::kServer,
+                         job.trace.trace_id, job.trace.parent_span_id,
+                         s.slices);
+    ++s.slices;
     try {
       if (!s.started) {
         s.started = true;
         s.start = Clock::now();
+        note_queue_wait(s);
         if (job.graph == nullptr) {
           throw std::invalid_argument("BatchScheduler: job has a null graph");
         }
@@ -128,6 +167,8 @@ struct BatchScheduler::Impl {
           // Sequential references run as one slice; api::solve stamps
           // name, wall time, and certificate itself.
           s.result = api::solve(job.algorithm, *job.graph, job.request);
+          m_slices_per_solve.observe(s.slices);
+          slice_span.end();
           if (job.on_complete) job.on_complete(s.result);
           return true;
         }
@@ -146,16 +187,47 @@ struct BatchScheduler::Impl {
         slice.round_budget =
             std::min(opts.round_quantum, job_budget - s.run->rounds());
       }
+      // Sampled engine.round spans (first rounds of a job, then every
+      // 64th), chained in front of the caller's own observer. Pure
+      // observation: the observer reads the run, never steers it.
+      std::uint64_t round_start_ns = 0;
+      if (job.trace.trace_id != 0) {
+        round_start_ns = obs::now_ns();
+        const std::uint64_t tid = job.trace.trace_id;
+        const std::uint64_t parent = slice_span.id();
+        const RoundObserver user = slice.on_round;
+        slice.on_round = [&round_start_ns, tid, parent,
+                          user](const ProtocolRun& run) {
+          const std::uint64_t now = obs::now_ns();
+          const std::uint32_t round = run.rounds();
+          if (round <= 4 || round % 64 == 0) {
+            obs::SpanRecord rec;
+            rec.trace_id = tid;
+            rec.span_id = obs::new_id();
+            rec.parent_span_id = parent;
+            rec.start_ns = round_start_ns;
+            rec.dur_ns = now - round_start_ns;
+            rec.arg = round;
+            rec.proc = static_cast<std::uint8_t>(obs::Proc::kServer);
+            rec.set_name("engine.round");
+            obs::recorder().record(rec);
+          }
+          round_start_ns = now;
+          if (user) user(run);
+        };
+      }
       const RunOutcome outcome = drive(*s.run, slice);
       if (outcome == RunOutcome::kBudgetExhausted &&
           (job_budget == 0 || s.run->rounds() < job_budget)) {
         return false;  // only the slice quantum ran out — requeue
       }
+      slice_span.end();
       finalize(s);
       return true;
     } catch (...) {
       s.error = std::current_exception();
       s.run.reset();
+      slice_span.end();
       if (job.on_error) job.on_error(s.error);
       return true;
     }
@@ -235,8 +307,10 @@ std::vector<Solution> BatchScheduler::solve_all(
 
   im.batch = std::vector<Impl::Slot>(jobs.size());
   im.ready.clear();
+  const std::uint64_t submit_ns = obs::now_ns();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     im.batch[i].job = jobs[i];
+    im.batch[i].submit_ns = submit_ns;
     im.ready.push_back(&im.batch[i]);
   }
   im.unfinished = jobs.size();
@@ -284,6 +358,7 @@ void BatchScheduler::submit(BatchJob job) {
   s.job = std::move(job);
   s.self = std::prev(im.service_slots.end());
   s.service = true;
+  s.submit_ns = obs::now_ns();
   im.ready.push_back(&s);
   ++im.unfinished;
   im.cv.notify_one();

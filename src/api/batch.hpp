@@ -48,6 +48,16 @@ class ThreadPool;
 
 namespace hypercover::api {
 
+/// Observability context a serving layer attaches to a job: when
+/// trace_id is nonzero the scheduler records `server.queue_wait`,
+/// per-slice `batch.slice`, and sampled `engine.round` spans under
+/// parent_span_id. Pure observation — results are bit-identical with or
+/// without it (the repo's tracing-on == tracing-off digest test).
+struct BatchTrace {
+  std::uint64_t trace_id = 0;  // 0 = untraced (the default)
+  std::uint64_t parent_span_id = 0;
+};
+
 /// One solve job: an instance, a registry algorithm name, and the full
 /// per-job request (common knobs, per-algorithm options, RunControl,
 /// certify flag). The graph must outlive the job's completion — the end
@@ -57,6 +67,7 @@ struct BatchJob {
   const hg::Hypergraph* graph = nullptr;
   std::string algorithm = "mwhvc";
   SolveRequest request;
+  BatchTrace trace;
   /// Fires exactly once, when the job's final slice finishes, on the
   /// worker thread that drove that slice (the calling thread for
   /// single-job batches and sequential solvers) — so a caller can

@@ -1,0 +1,104 @@
+#include "obs/trace_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace hypercover::obs {
+
+namespace {
+
+const char* proc_name(std::uint8_t proc) {
+  switch (static_cast<Proc>(proc)) {
+    case Proc::kClient: return "client";
+    case Proc::kRouter: return "router";
+    case Proc::kServer: return "server";
+  }
+  return "unknown";
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+  out += buf;
+}
+
+/// Microsecond timestamp with nanosecond precision, as Chrome expects.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(std::span<const SpanRecord> spans) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  // One process_name metadata event per layer present in the span set.
+  bool seen_proc[3] = {false, false, false};
+  for (const SpanRecord& s : spans)
+    if (s.proc < 3) seen_proc[s.proc] = true;
+  for (std::uint8_t p = 0; p < 3; ++p) {
+    if (!seen_proc[p]) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": ";
+    out += std::to_string(p);
+    out += ", \"tid\": 0, \"args\": {\"name\": \"";
+    out += proc_name(p);
+    out += "\"}}";
+  }
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": \"";
+    append_escaped(out, s.name);
+    out += "\", \"cat\": \"hypercover\", \"ph\": \"X\", \"ts\": ";
+    append_us(out, s.start_ns);
+    out += ", \"dur\": ";
+    append_us(out, s.dur_ns);
+    out += ", \"pid\": ";
+    out += std::to_string(s.proc);
+    // One tid row per (layer, trace): concurrent requests in a daemon
+    // dump get separate tracks, and one request's spans nest by time.
+    out += ", \"tid\": ";
+    out += std::to_string(s.trace_id & 0xffffffffull);
+    out += ", \"args\": {\"trace_id\": \"";
+    append_hex(out, s.trace_id);
+    out += "\", \"span_id\": \"";
+    append_hex(out, s.span_id);
+    out += "\", \"parent_span_id\": \"";
+    append_hex(out, s.parent_span_id);
+    out += "\", \"arg\": ";
+    out += std::to_string(s.arg);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        std::span<const SpanRecord> spans) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  const std::string json = to_chrome_trace(spans);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!f) throw std::runtime_error("cannot write trace file: " + path);
+}
+
+}  // namespace hypercover::obs

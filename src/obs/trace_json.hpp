@@ -1,0 +1,27 @@
+#pragma once
+// Chrome trace-event JSON export: turns collected SpanRecords into a
+// file loadable in Perfetto / chrome://tracing. Each process layer
+// (client / router / server) gets its own pid lane with a metadata
+// process_name event; each trace gets its own tid row per lane, so
+// concurrent requests in a daemon dump render as separate tracks and
+// the spans of one request nest visually by time.
+
+#include <span>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace hypercover::obs {
+
+/// The JSON object format: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+/// Events are complete ("ph":"X") spans with microsecond timestamps and
+/// args carrying the span/trace ids (hex) so tooling can rebuild the
+/// parent tree exactly.
+[[nodiscard]] std::string to_chrome_trace(std::span<const SpanRecord> spans);
+
+/// Writes to_chrome_trace(spans) to `path`; throws std::runtime_error on
+/// I/O failure.
+void write_chrome_trace(const std::string& path,
+                        std::span<const SpanRecord> spans);
+
+}  // namespace hypercover::obs

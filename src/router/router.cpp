@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -15,6 +17,8 @@
 #include "api/registry.hpp"
 #include "hypergraph/binary.hpp"
 #include "hypergraph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "router/ring.hpp"
 #include "server/client.hpp"
 #include "server/socket.hpp"
@@ -100,12 +104,37 @@ struct Router::Impl {
   std::atomic<std::uint64_t> connections{0}, requests{0}, protocol_errors{0},
       retries{0}, exhausted{0};
 
+  // Registry instruments, resolved once (the registry lookup takes a
+  // mutex; the forward path must not).
+  obs::Counter& m_requests = obs::metrics().counter("hc_router_requests_total");
+  obs::Counter& m_solves = obs::metrics().counter("hc_router_solves_total");
+  obs::Counter& m_attempts = obs::metrics().counter("hc_router_attempts_total");
+  obs::Counter& m_retries = obs::metrics().counter("hc_router_retries_total");
+  obs::Counter& m_exhausted =
+      obs::metrics().counter("hc_router_exhausted_total");
+  obs::Counter& m_connections =
+      obs::metrics().counter("hc_router_connections_total");
+  obs::Counter& m_proto_errors =
+      obs::metrics().counter("hc_router_protocol_errors_total");
+  obs::Counter& m_health_flips =
+      obs::metrics().counter("hc_router_health_flips_total");
+  obs::Histogram& m_solve_latency_ms =
+      obs::metrics().histogram("hc_router_solve_latency_ms");
+
   /// Shared health + traffic registry for one backend. Health decisions
   /// (skip vs probe) take the mutex; traffic counters are atomics so the
   /// hot forward path never contends on them.
   struct BackendState {
-    explicit BackendState(std::string address_) : address(std::move(address_)) {}
+    explicit BackendState(std::string address_)
+        : address(std::move(address_)),
+          m_solves(obs::metrics().counter(
+              "hc_router_backend_solves_total{backend=\"" + address + "\"}")),
+          m_failures(obs::metrics().counter(
+              "hc_router_backend_failures_total{backend=\"" + address +
+              "\"}")) {}
     const std::string address;
+    obs::Counter& m_solves;
+    obs::Counter& m_failures;
 
     std::mutex mu;  // guards healthy / consecutive_failures / next_probe_ms
     bool healthy = true;
@@ -137,7 +166,9 @@ struct Router::Impl {
   void mark_failure(std::uint32_t b) {
     BackendState& st = *backends[b];
     st.failures.fetch_add(1, std::memory_order_relaxed);
+    st.m_failures.inc();
     std::lock_guard<std::mutex> lock(st.mu);
+    if (st.healthy) m_health_flips.inc();
     st.healthy = false;
     st.consecutive_failures =
         std::min(st.consecutive_failures + 1, std::uint32_t{31});
@@ -171,11 +202,14 @@ struct Router::Impl {
 
   /// One handler's lazily-connected upstream to one backend. Stateful
   /// by protocol design: have_graph tracks what THIS connection staged.
+  /// version is what the Hello negotiation settled on — a v3 backend
+  /// must never see v4 trace tails.
   struct Upstream {
     Socket sock;
     bool ready = false;
     bool have_graph = false;
     std::uint64_t staged_digest = 0;
+    std::uint32_t version = server::kProtocolVersion;
 
     void reset() noexcept {
       sock.close();
@@ -288,23 +322,37 @@ struct Router::Impl {
 
   // --- backend forwarding ---------------------------------------------------
 
-  void ensure_ready(Upstream& up, std::uint32_t b) {
-    if (up.ready) return;
+  /// One connect + Hello exchange at a specific version. Returns false
+  /// when the backend answered Error — the way a v3 backend rejects a
+  /// v4 Hello (it also drops the connection, so the caller reconnects).
+  bool try_handshake(Upstream& up, std::uint32_t b, std::uint32_t version) {
     up.sock = server::connect_to(backends[b]->address, opts.connect_timeout_ms);
     up.sock.set_recv_timeout(opts.backend_timeout_ms);
     PayloadWriter w;
-    w.u32(server::kProtocolVersion);
+    w.u32(version);
     write_frame(up.sock, FrameTag::kHello, w.take());
     Frame reply;
     if (!read_frame(up.sock, reply, opts.max_frame_bytes)) {
       throw ProtocolError("backend closed during handshake");
     }
+    if (reply.tag == FrameTag::kError) return false;
     if (reply.tag != FrameTag::kHelloOk) {
       throw ProtocolError("backend refused handshake");
     }
     PayloadReader r(reply.payload);
-    if (r.u32() != server::kProtocolVersion) {
+    const std::uint32_t got = r.u32();
+    if (got < server::kMinProtocolVersion || got > version) {
       throw ProtocolError("backend protocol version mismatch");
+    }
+    up.version = got;
+    return true;
+  }
+
+  void ensure_ready(Upstream& up, std::uint32_t b) {
+    if (up.ready) return;
+    if (!try_handshake(up, b, server::kProtocolVersion) &&
+        !try_handshake(up, b, server::kMinProtocolVersion)) {
+      throw ProtocolError("backend refused handshake");
     }
     up.ready = true;
   }
@@ -331,11 +379,24 @@ struct Router::Impl {
   /// (full decode + digest guard — a corrupting backend is caught HERE,
   /// not at the client), forward it. Throws SocketError/ProtocolError on
   /// anything that should fail the backend over.
+  ///
+  /// Tracing: `tid` is the request's trace id (0 = untraced; a local
+  /// trace_local id when the client sent none). When the CLIENT traced
+  /// (`wire_traced`), the forwarded Solve is re-parented under this
+  /// attempt's span (a v3 upstream gets the trace tail stripped
+  /// instead), and the backend's Result is re-encoded with the router's
+  /// own spans appended before it goes to the client.
   Attempt try_backend(Socket& client, Upstream& up, std::uint32_t b,
                       const ConnGraph& state,
                       const std::vector<std::uint8_t>& solve_payload,
-                      std::uint64_t key, std::string& last_error) {
+                      std::uint64_t key, std::uint64_t tid, bool wire_traced,
+                      obs::Span& route_span, std::uint32_t attempt_index,
+                      std::string& last_error) {
     BackendState& st = *backends[b];
+    obs::Span attempt_span(obs::recorder(), "router.attempt",
+                           obs::Proc::kRouter, tid, route_span.id(),
+                           attempt_index);
+    m_attempts.inc();
     ensure_ready(up, b);
     if (!up.have_graph || up.staged_digest != state.digest) {
       up.have_graph = false;
@@ -353,6 +414,7 @@ struct Router::Impl {
         (void)server::decode_busy(busy);  // validate before forwarding
         st.busy.fetch_add(1, std::memory_order_relaxed);
         mark_success(b);
+        log_busy(b, key, tid);
         write_frame(client, FrameTag::kBusy, reply.payload);
         return Attempt::kReplied;
       } else if (reply.tag == FrameTag::kError) {
@@ -368,17 +430,50 @@ struct Router::Impl {
                             std::to_string(static_cast<unsigned>(reply.tag)));
       }
     }
-    const Frame reply = upstream_round_trip(up, FrameTag::kSolve, solve_payload);
+    // A traced Solve payload ends in the 16-byte trace tail. Re-parent
+    // the forwarded copy under this attempt's span (the backend's spans
+    // then stitch below it); a v3 upstream gets the tail stripped — it
+    // would reject the bytes it cannot decode.
+    const std::vector<std::uint8_t>* fwd = &solve_payload;
+    std::vector<std::uint8_t> patched;
+    if (wire_traced) {
+      patched = solve_payload;
+      if (up.version >= server::kProtocolVersion) {
+        const std::uint64_t parent = attempt_span.id();
+        std::uint8_t* tail =
+            patched.data() + patched.size() - server::kTraceParentTailOffset;
+        for (std::size_t i = 0; i < 8; ++i) {
+          tail[i] = static_cast<std::uint8_t>(parent >> (8 * i));
+        }
+      } else {
+        patched.resize(patched.size() - 16);
+      }
+      fwd = &patched;
+    }
+    const Frame reply = upstream_round_trip(up, FrameTag::kSolve, *fwd);
     if (reply.tag == FrameTag::kResult) {
       PayloadReader res(reply.payload);
-      const server::WireResult wire = server::decode_result(res);
+      server::WireResult wire = server::decode_result(res);
       if (!res.done() || wire.solve_digest != key) {
         throw ProtocolError("backend Result failed the digest guard");
       }
       mark_success(b);
       st.solves.fetch_add(1, std::memory_order_relaxed);
+      st.m_solves.inc();
       if (wire.cache_hit) st.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      write_frame(client, FrameTag::kResult, reply.payload);
+      if (wire_traced) {
+        // Close the router spans and ship them with the backend's on the
+        // re-encoded Result (canonical re-encode, digest untouched).
+        attempt_span.end();
+        route_span.end();
+        const auto mine = obs::recorder().collect(tid);
+        wire.spans.insert(wire.spans.end(), mine.begin(), mine.end());
+        PayloadWriter w;
+        server::encode_result(w, wire);
+        write_frame(client, FrameTag::kResult, w.take());
+      } else {
+        write_frame(client, FrameTag::kResult, reply.payload);
+      }
       return Attempt::kReplied;
     }
     if (reply.tag == FrameTag::kBusy) {
@@ -386,6 +481,7 @@ struct Router::Impl {
       (void)server::decode_busy(busy);
       st.busy.fetch_add(1, std::memory_order_relaxed);
       mark_success(b);
+      log_busy(b, key, tid);
       write_frame(client, FrameTag::kBusy, reply.payload);
       return Attempt::kReplied;
     }
@@ -402,12 +498,21 @@ struct Router::Impl {
                         std::to_string(static_cast<unsigned>(reply.tag)));
   }
 
+  void log_busy(std::uint32_t b, std::uint64_t key, std::uint64_t tid) {
+    if (!opts.verbose) return;
+    std::fprintf(stderr,
+                 "solve-router: busy: backend %s rejected solve 0x%08" PRIx64
+                 " trace 0x%016" PRIx64 "\n",
+                 backends[b]->address.c_str(), key >> 32, tid);
+  }
+
   /// Returns false when the client connection must be dropped.
   bool handle_solve(Socket& client, PayloadReader& r, const Frame& frame,
                     const ConnGraph& state, std::vector<Upstream>& ups) {
     std::string algorithm;
     server::SolveKnobs knobs;
-    decode_solve(r, algorithm, knobs);
+    server::TraceContext trace;
+    decode_solve(r, algorithm, knobs, &trace);
     if (!consumed_all(client, r, "Solve")) return false;
     if (!state.have) {
       send_error(client, "Solve before SubmitGraph");
@@ -421,33 +526,67 @@ struct Router::Impl {
         util::solve_digest(state.digest, algorithm, to_request(knobs));
     const std::vector<std::uint32_t> order = ring.route(key);
 
+    const bool wire_traced = trace.trace_id != 0;
+    std::uint64_t tid = trace.trace_id;
+    if (!wire_traced && opts.trace_local) tid = obs::new_id();
+    const std::uint64_t t0 = obs::now_ns();
+    obs::Span route_span(obs::recorder(), "router.route", obs::Proc::kRouter,
+                         tid, trace.parent_span_id);
+
     std::string last_error;
-    bool dispatched_before = false;
+    std::uint32_t attempt_index = 0;
     for (const std::uint32_t b : order) {
       if (!usable(b)) continue;
-      if (dispatched_before) retries.fetch_add(1, std::memory_order_relaxed);
-      dispatched_before = true;
+      if (attempt_index > 0) {
+        retries.fetch_add(1, std::memory_order_relaxed);
+        m_retries.inc();
+      }
       try {
         const Attempt outcome =
-            try_backend(client, ups[b], b, state, frame.payload, key,
-                        last_error);
-        if (outcome == Attempt::kReplied) return true;
+            try_backend(client, ups[b], b, state, frame.payload, key, tid,
+                        wire_traced, route_span, attempt_index, last_error);
+        ++attempt_index;
+        if (outcome == Attempt::kReplied) {
+          m_solves.inc();
+          m_solve_latency_ms.observe((obs::now_ns() - t0) / 1'000'000);
+          return true;
+        }
         // kRejected: fall through to the next ring node.
       } catch (const SocketError& ex) {
+        ++attempt_index;
         last_error = ex.what();
+        log_failover(b, key, tid, ex.what());
         ups[b].reset();
         mark_failure(b);
       } catch (const ProtocolError& ex) {
+        ++attempt_index;
         last_error = ex.what();
+        log_failover(b, key, tid, ex.what());
         ups[b].reset();
         mark_failure(b);
       }
     }
     exhausted.fetch_add(1, std::memory_order_relaxed);
+    m_exhausted.inc();
+    if (opts.verbose) {
+      std::fprintf(stderr,
+                   "solve-router: exhausted: no backend for solve 0x%08" PRIx64
+                   " trace 0x%016" PRIx64 "\n",
+                   key >> 32, tid);
+    }
     send_error(client, "no healthy backend could serve the request" +
                            (last_error.empty() ? std::string()
                                                : " (last: " + last_error + ")"));
     return true;
+  }
+
+  void log_failover(std::uint32_t b, std::uint64_t key, std::uint64_t tid,
+                    const char* why) {
+    if (!opts.verbose) return;
+    std::fprintf(stderr,
+                 "solve-router: failover: backend %s failed solve 0x%08" PRIx64
+                 " trace 0x%016" PRIx64 ": %s\n",
+                 backends[b]->address.c_str(), key >> 32, tid, why);
   }
 
   // --- stats / shutdown -----------------------------------------------------
@@ -499,9 +638,11 @@ struct Router::Impl {
     try {
       while (read_frame(sock, frame, opts.max_frame_bytes)) {
         requests.fetch_add(1, std::memory_order_relaxed);
+        m_requests.inc();
         PayloadReader r(frame.payload);
         if (!greeted && frame.tag != FrameTag::kHello) {
           protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          m_proto_errors.inc();
           send_error(sock, "first frame must be Hello");
           return;
         }
@@ -509,8 +650,10 @@ struct Router::Impl {
           case FrameTag::kHello: {
             const std::uint32_t version = r.u32();
             if (!consumed_all(sock, r, "Hello")) return;
-            if (version != server::kProtocolVersion) {
+            if (version < server::kMinProtocolVersion ||
+                version > server::kProtocolVersion) {
               protocol_errors.fetch_add(1, std::memory_order_relaxed);
+              m_proto_errors.inc();
               send_error(sock,
                          "protocol version " + std::to_string(version) +
                              " unsupported (router speaks " +
@@ -519,7 +662,9 @@ struct Router::Impl {
             }
             greeted = true;
             PayloadWriter w;
-            w.u32(server::kProtocolVersion);
+            // Echo the CLIENT's version: the router speaks both, and a
+            // v3 client must see the handshake it expects.
+            w.u32(version);
             w.u32(static_cast<std::uint32_t>(api::solvers().size()));
             write_frame(sock, FrameTag::kHelloOk, w.take());
             break;
@@ -538,6 +683,16 @@ struct Router::Impl {
             write_frame(sock, FrameTag::kStatsReply, w.take());
             break;
           }
+          case FrameTag::kMetrics: {
+            if (!consumed_all(sock, r, "Metrics")) return;
+            // The router's OWN instruments (hc_router_*). Fleet-wide
+            // aggregation stays on the Stats frame; a scraper reaches
+            // each backend's hc_server_* series directly.
+            PayloadWriter w;
+            w.str(obs::metrics().prometheus_text());
+            write_frame(sock, FrameTag::kMetricsReply, w.take());
+            break;
+          }
           case FrameTag::kShutdown:
             if (!consumed_all(sock, r, "Shutdown")) return;
             write_frame(sock, FrameTag::kShutdownOk);
@@ -546,6 +701,7 @@ struct Router::Impl {
             return;
           default:
             protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            m_proto_errors.inc();
             send_error(sock, "unknown frame tag " +
                                  std::to_string(
                                      static_cast<unsigned>(frame.tag)));
@@ -555,10 +711,12 @@ struct Router::Impl {
       }
     } catch (const ProtocolError&) {
       protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      m_proto_errors.inc();
     } catch (const SocketError&) {
       // Client vanished mid-reply; nothing to report to.
     } catch (...) {
       protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      m_proto_errors.inc();
     }
   }
 
@@ -573,6 +731,7 @@ struct Router::Impl {
         Socket sock = listener.accept();
         if (!sock.valid()) break;
         connections.fetch_add(1, std::memory_order_relaxed);
+        m_connections.inc();
         auto conn = std::make_unique<Conn>();
         Conn* raw = conn.get();
         {

@@ -65,6 +65,13 @@ struct RouterOptions {
   bool forward_shutdown = true;
   /// Hard cap on one frame's payload, both faces.
   std::uint32_t max_frame_bytes = server::kDefaultMaxFrameBytes;
+  /// Log per-request routing events (Busy forwards, failovers, ring
+  /// exhaustion — with the solve digest prefix and trace id) to stderr.
+  bool verbose = false;
+  /// Record router spans for UNtraced requests under a locally minted
+  /// trace id (the daemon's --trace-out drain export). Local trace ids
+  /// are never propagated to backends and never ride a client Result.
+  bool trace_local = false;
 };
 
 /// Point-in-time view of one backend, for tests and the drain report.

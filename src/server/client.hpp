@@ -88,10 +88,14 @@ class Client {
   GraphInfo submit_graph_binary_path(const std::string& path);
 
   /// Solves the connection's current graph. The returned WireResult
-  /// carries the full cover and duals for local re-verification. On a
-  /// Busy reply, retries per the configured BusyRetryPolicy before
-  /// letting the final BusyError escape; resending is safe because a
-  /// solve is idempotent (bit-identical) by contract.
+  /// carries the full cover and duals for local re-verification, the
+  /// Busy-retry work actually performed (busy_retries / busy_backoff_ms
+  /// — client-local fields, never on the wire), and, with tracing
+  /// enabled, the request's stitched spans (the client.solve root plus
+  /// whatever the server shipped back). On a Busy reply, retries per the
+  /// configured BusyRetryPolicy before letting the final BusyError
+  /// escape; resending is safe because a solve is idempotent
+  /// (bit-identical) by contract.
   WireResult solve(std::string_view algorithm, const SolveKnobs& knobs = {});
 
   /// Installs the Busy backoff policy for subsequent solve() calls.
@@ -99,7 +103,21 @@ class Client {
     busy_retry_ = policy;
   }
 
+  /// Enables per-solve tracing: each solve() mints a trace id, records a
+  /// client.solve root span (plus per-retry client.busy_retry spans) and
+  /// — on a v4 connection — propagates the context on the wire so the
+  /// router and server stitch their spans into the same trace.
+  void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
+
+  /// The protocol version negotiated at connect (3 after the legacy
+  /// fallback, otherwise kProtocolVersion).
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+
   ServerStats stats();
+
+  /// Prometheus text exposition scraped from the server (protocol v4;
+  /// throws RemoteError on a v3 connection).
+  std::string metrics_text();
 
   /// Asks the server to drain and exit; returns once ShutdownOk arrives.
   void shutdown_server();
@@ -115,8 +133,14 @@ class Client {
   /// Shared body of the two submit_graph_* forms (kind byte + bytes).
   GraphInfo submit_graph(std::uint8_t kind, std::string_view bytes);
 
+  /// Connect + Hello with one specific protocol version.
+  void handshake(const std::string& address, std::uint32_t timeout_ms,
+                 std::uint32_t version);
+
   Socket sock_;
   BusyRetryPolicy busy_retry_;
+  std::uint32_t version_ = kProtocolVersion;
+  bool tracing_ = false;
 };
 
 }  // namespace hypercover::server

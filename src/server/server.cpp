@@ -1,6 +1,8 @@
 #include "server/server.hpp"
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +19,8 @@
 #include "congest/thread_pool.hpp"
 #include "hypergraph/binary.hpp"
 #include "hypergraph/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "server/cache.hpp"
 #include "server/socket.hpp"
 #include "util/digest.hpp"
@@ -46,6 +50,27 @@ struct SolveServer::Impl {
   api::BatchScheduler scheduler;
   Listener listener;
   bool started = false;
+
+  // Cached obs instrument references (registry lookups are cold-path).
+  // The registry is process-global, so counters accumulate across
+  // server instances in one process — what a scrape wants.
+  obs::Counter& m_requests = obs::metrics().counter("hc_server_requests_total");
+  obs::Counter& m_solves = obs::metrics().counter("hc_server_solves_total");
+  obs::Counter& m_cache_hits =
+      obs::metrics().counter("hc_server_cache_hits_total");
+  obs::Counter& m_cache_misses =
+      obs::metrics().counter("hc_server_cache_misses_total");
+  obs::Counter& m_busy =
+      obs::metrics().counter("hc_server_busy_rejections_total");
+  obs::Counter& m_proto_errors =
+      obs::metrics().counter("hc_server_protocol_errors_total");
+  obs::Counter& m_connections =
+      obs::metrics().counter("hc_server_connections_total");
+  obs::Gauge& m_inflight = obs::metrics().gauge("hc_server_inflight");
+  obs::Histogram& m_solve_latency_ms =
+      obs::metrics().histogram("hc_server_solve_latency_ms");
+  obs::Histogram& m_rounds_per_solve =
+      obs::metrics().histogram("hc_server_rounds_per_solve");
 
   std::atomic<bool> stopping{false};
 
@@ -172,6 +197,7 @@ struct SolveServer::Impl {
     busy.max_inflight = opts.max_inflight;
     busy.max_queued_bytes = opts.max_queued_bytes;
     busy_rejections.fetch_add(1, std::memory_order_relaxed);
+    m_busy.inc();
     PayloadWriter w;
     encode_busy(w, busy);
     write_frame(sock, FrameTag::kBusy, w.take());
@@ -297,7 +323,8 @@ struct SolveServer::Impl {
   bool handle_solve(Socket& sock, PayloadReader& r, const ConnGraph& state) {
     std::string algorithm;
     SolveKnobs knobs;
-    decode_solve(r, algorithm, knobs);
+    TraceContext trace;
+    decode_solve(r, algorithm, knobs, &trace);
     if (!consumed_all(sock, r, "Solve")) return false;
     if (state.graph == nullptr) {
       send_error(sock, "Solve before SubmitGraph");
@@ -310,20 +337,49 @@ struct SolveServer::Impl {
     const api::SolveRequest req = to_request(knobs);
     const std::uint64_t key = util::solve_digest(state.digest, algorithm, req);
 
+    // Spans ship back on the Result only for requests the CLIENT traced;
+    // a local trace id (daemon --trace-out self-tracing) stays local so
+    // v3 and untraced-v4 peers never see a span tail.
+    const bool wire_traced = trace.trace_id != 0;
+    if (!wire_traced && opts.trace_local) trace.trace_id = obs::new_id();
+
+    const std::uint64_t t0 = obs::now_ns();
+    // server.admit: the cache lookup + admission decision. arg encodes
+    // the verdict: 0 dispatched, 1 cache hit, 2 rejected Busy.
+    obs::Span admit_span(obs::recorder(), "server.admit", obs::Proc::kServer,
+                         trace.trace_id, trace.parent_span_id);
+
     if (std::shared_ptr<const api::Solution> hit = cache.find(key)) {
+      admit_span.set_arg(1);
+      admit_span.end();
+      m_cache_hits.inc();
       PayloadWriter w;
-      encode_result(w, *hit, /*cache_hit=*/true, key);
+      encode_result(w, *hit, /*cache_hit=*/true, key,
+                    wire_traced ? obs::recorder().collect(trace.trace_id)
+                                : std::vector<obs::SpanRecord>{});
       // Count before replying: a client that has its Result in hand must
       // already see it in the Stats counters.
       solves.fetch_add(1, std::memory_order_relaxed);
+      m_solves.inc();
+      m_solve_latency_ms.observe((obs::now_ns() - t0) / 1'000'000);
       write_frame(sock, FrameTag::kResult, w.take());
       return true;
     }
+    m_cache_misses.inc();
 
     if (!admit(state.text_bytes)) {
+      admit_span.set_arg(2);
+      if (opts.verbose) {
+        std::fprintf(stderr,
+                     "solve-server: busy: rejected solve 0x%08" PRIx64
+                     " trace 0x%016" PRIx64 "\n",
+                     key >> 32, trace.trace_id);
+      }
       send_busy(sock);
       return true;
     }
+    m_inflight.add(1);
+    admit_span.end();
 
     // Dispatch on the shared scheduler and block this handler until the
     // job's final slice delivers. The connection's shared_ptr keeps the
@@ -334,6 +390,10 @@ struct SolveServer::Impl {
     job.graph = state.graph.get();
     job.algorithm = algorithm;
     job.request = req;
+    // The scheduler's queue-wait / slice / sampled-round spans parent
+    // straight under the request's incoming span, as siblings of
+    // server.admit.
+    job.trace = api::BatchTrace{trace.trace_id, trace.parent_span_id};
     job.on_complete = [promise](api::Solution& sol) {
       promise->set_value(std::move(sol));  // the scheduler discards the slot
     };
@@ -346,10 +406,12 @@ struct SolveServer::Impl {
       sol = future.get();  // rethrows the job's exception
     } catch (const std::exception& ex) {
       release(state.text_bytes);
+      m_inflight.add(-1);
       send_error(sock, std::string("solve failed: ") + ex.what());
       return true;
     }
     release(state.text_bytes);
+    m_inflight.add(-1);
     const congest::RunStats& net = sol.net;
     engine_rounds.fetch_add(net.rounds, std::memory_order_relaxed);
     engine_agent_steps.fetch_add(net.agent_steps, std::memory_order_relaxed);
@@ -363,11 +425,19 @@ struct SolveServer::Impl {
                                         std::memory_order_relaxed);
     engine_epoch_clear_passes.fetch_add(net.epoch_clear_passes,
                                         std::memory_order_relaxed);
+    m_rounds_per_solve.observe(net.rounds);
     auto shared = std::make_shared<const api::Solution>(std::move(sol));
     cache.insert(key, shared);
     PayloadWriter w;
-    encode_result(w, *shared, /*cache_hit=*/false, key);
+    // Every span of this trace recorded in this process so far — the
+    // final batch slice ended before on_complete fired, so the
+    // scheduler's spans are all visible here.
+    encode_result(w, *shared, /*cache_hit=*/false, key,
+                  wire_traced ? obs::recorder().collect(trace.trace_id)
+                              : std::vector<obs::SpanRecord>{});
     solves.fetch_add(1, std::memory_order_relaxed);
+    m_solves.inc();
+    m_solve_latency_ms.observe((obs::now_ns() - t0) / 1'000'000);
     write_frame(sock, FrameTag::kResult, w.take());
     return true;
   }
@@ -381,6 +451,7 @@ struct SolveServer::Impl {
     try {
       while (read_frame(sock, frame, opts.max_frame_bytes)) {
         requests.fetch_add(1, std::memory_order_relaxed);
+        m_requests.inc();
         PayloadReader r(frame.payload);
         if (!greeted && frame.tag != FrameTag::kHello) {
           protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -391,8 +462,13 @@ struct SolveServer::Impl {
           case FrameTag::kHello: {
             const std::uint32_t version = r.u32();
             if (!consumed_all(sock, r, "Hello")) return;
-            if (version != kProtocolVersion) {
+            // v3 peers are spoken to in v3: the HelloOk echoes THEIR
+            // version, and v4 tails never reach them (a v3 peer never
+            // sends a trace context, and spans only ride Results of
+            // traced requests).
+            if (version < kMinProtocolVersion || version > kProtocolVersion) {
               protocol_errors.fetch_add(1, std::memory_order_relaxed);
+              m_proto_errors.inc();
               send_error(sock, "protocol version " + std::to_string(version) +
                                    " unsupported (server speaks " +
                                    std::to_string(kProtocolVersion) + ")");
@@ -400,7 +476,7 @@ struct SolveServer::Impl {
             }
             greeted = true;
             PayloadWriter w;
-            w.u32(kProtocolVersion);
+            w.u32(version);
             w.u32(static_cast<std::uint32_t>(api::solvers().size()));
             write_frame(sock, FrameTag::kHelloOk, w.take());
             break;
@@ -419,6 +495,13 @@ struct SolveServer::Impl {
             PayloadWriter w;
             encode_stats(w, snapshot());
             write_frame(sock, FrameTag::kStatsReply, w.take());
+            break;
+          }
+          case FrameTag::kMetrics: {
+            if (!consumed_all(sock, r, "Metrics")) return;
+            PayloadWriter w;
+            w.str(obs::metrics().prometheus_text());
+            write_frame(sock, FrameTag::kMetricsReply, w.take());
             break;
           }
           case FrameTag::kShutdown:
@@ -464,6 +547,7 @@ struct SolveServer::Impl {
         Socket sock = listener.accept();
         if (!sock.valid()) break;  // woken for shutdown
         connections.fetch_add(1, std::memory_order_relaxed);
+        m_connections.inc();
         auto conn = std::make_unique<Conn>();
         Conn* raw = conn.get();
         {

@@ -54,6 +54,13 @@ struct ServerOptions {
   std::uint32_t round_quantum = 32;
   /// Hard cap on one frame's payload (protocol safety, not admission).
   std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Log per-request serving events (Busy rejections, with the solve
+  /// digest prefix and trace id) to stderr.
+  bool verbose = false;
+  /// Record spans for UNtraced requests under a locally minted trace id
+  /// (the daemon's --trace-out drain export). Spans still never ride a
+  /// Result unless the client sent its own trace id.
+  bool trace_local = false;
 };
 
 class SolveServer {

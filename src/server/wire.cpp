@@ -150,7 +150,7 @@ constexpr std::uint8_t kKnobNoCertify = 1u << 3;
 }  // namespace
 
 void encode_solve(PayloadWriter& w, std::string_view algorithm,
-                  const SolveKnobs& knobs) {
+                  const SolveKnobs& knobs, const TraceContext& trace) {
   w.str(algorithm);
   w.f64(knobs.eps);
   w.u32(knobs.f_override);
@@ -162,10 +162,17 @@ void encode_solve(PayloadWriter& w, std::string_view algorithm,
   if (knobs.use_alpha_fixed) flags |= kKnobAlphaFixed;
   if (!knobs.certify) flags |= kKnobNoCertify;
   w.u8(flags);
+  // v4 trace-context tail, omitted for untraced requests so the frame
+  // stays byte-identical to v3 (kTraceParentTailOffset depends on the
+  // parent span id being the final 8 bytes).
+  if (trace.trace_id != 0) {
+    w.u64(trace.trace_id);
+    w.u64(trace.parent_span_id);
+  }
 }
 
-void decode_solve(PayloadReader& r, std::string& algorithm,
-                  SolveKnobs& knobs) {
+void decode_solve(PayloadReader& r, std::string& algorithm, SolveKnobs& knobs,
+                  TraceContext* trace) {
   algorithm = r.str();
   knobs.eps = r.f64();
   knobs.f_override = r.u32();
@@ -176,6 +183,15 @@ void decode_solve(PayloadReader& r, std::string& algorithm,
   knobs.appendix_c = (flags & kKnobAppendixC) != 0;
   knobs.use_alpha_fixed = (flags & kKnobAlphaFixed) != 0;
   knobs.certify = (flags & kKnobNoCertify) == 0;
+  if (trace != nullptr) *trace = TraceContext{};
+  // A trailing trace context is consumed even when the caller passes no
+  // out-param, so the consumed_all discipline holds for traced frames.
+  if (r.remaining() != 0) {
+    TraceContext t;
+    t.trace_id = r.u64();
+    t.parent_span_id = r.u64();
+    if (trace != nullptr) *trace = t;
+  }
 }
 
 namespace {
@@ -202,10 +218,55 @@ void put_duals(PayloadWriter& w, const std::vector<double>& duals) {
   for (const double d : duals) w.f64(d);
 }
 
+// v4 Result span tail: u32 count, then per span six u64s, the proc
+// byte, and the name string. Omitted entirely when there are no spans,
+// so the untraced Result stays byte-identical to v3 — and "absent" is
+// the canonical form of "count == 0" under the re-encode fixed point.
+void put_spans(PayloadWriter& w, std::span<const obs::SpanRecord> spans) {
+  if (spans.empty()) return;
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const obs::SpanRecord& s : spans) {
+    w.u64(s.trace_id);
+    w.u64(s.span_id);
+    w.u64(s.parent_span_id);
+    w.u64(s.start_ns);
+    w.u64(s.dur_ns);
+    w.u64(s.arg);
+    w.u8(s.proc);
+    w.str(s.name);
+  }
+}
+
+std::vector<obs::SpanRecord> read_spans(PayloadReader& r) {
+  std::vector<obs::SpanRecord> spans;
+  if (r.remaining() == 0) return spans;
+  const std::uint32_t count = r.u32();
+  // 6 u64s + proc byte + the name's length word: the smallest possible
+  // span record. Validated before allocating count-sized storage.
+  constexpr std::uint64_t kMinSpanBytes = 6 * 8 + 1 + 4;
+  if (static_cast<std::uint64_t>(count) * kMinSpanBytes > r.remaining()) {
+    throw ProtocolError("span count " + std::to_string(count) +
+                        " exceeds the payload");
+  }
+  spans.resize(count);
+  for (obs::SpanRecord& s : spans) {
+    s.trace_id = r.u64();
+    s.span_id = r.u64();
+    s.parent_span_id = r.u64();
+    s.start_ns = r.u64();
+    s.dur_ns = r.u64();
+    s.arg = r.u64();
+    s.proc = r.u8();
+    s.set_name(r.str().c_str());
+  }
+  return spans;
+}
+
 }  // namespace
 
 void encode_result(PayloadWriter& w, const api::Solution& sol, bool cache_hit,
-                   std::uint64_t solve_digest) {
+                   std::uint64_t solve_digest,
+                   std::span<const obs::SpanRecord> spans) {
   w.u8(cache_hit ? 1 : 0);
   w.str(sol.algorithm);
   w.u8(static_cast<std::uint8_t>(sol.outcome));
@@ -226,6 +287,7 @@ void encode_result(PayloadWriter& w, const api::Solution& sol, bool cache_hit,
   w.f64(sol.wall_ms);
   put_cover_bitmap(w, sol.in_cover);
   put_duals(w, sol.duals);
+  put_spans(w, spans);
 }
 
 void encode_result(PayloadWriter& w, const WireResult& res) {
@@ -251,6 +313,7 @@ void encode_result(PayloadWriter& w, const WireResult& res) {
   w.f64(res.wall_ms);
   put_cover_bitmap(w, res.in_cover);
   put_duals(w, res.duals);
+  put_spans(w, res.spans);
 }
 
 WireResult decode_result(PayloadReader& r) {
@@ -295,6 +358,7 @@ WireResult decode_result(PayloadReader& r) {
   }
   out.duals.resize(m);
   for (std::uint32_t e = 0; e < m; ++e) out.duals[e] = r.f64();
+  out.spans = read_spans(r);
   return out;
 }
 

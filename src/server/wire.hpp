@@ -30,6 +30,7 @@
 
 #include "api/registry.hpp"
 #include "api/solution.hpp"
+#include "obs/obs.hpp"
 #include "server/socket.hpp"
 
 namespace hypercover::server {
@@ -37,8 +38,18 @@ namespace hypercover::server {
 /// v2 added SubmitGraphBinary (hgb buffers inline or by-path) and the
 /// cache_evictions stats counter. v3 extends StatsReply with the
 /// cumulative engine work counters (rounds, agent steps, step cycles,
-/// clearing decisions) accumulated over cold solves.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// clearing decisions) accumulated over cold solves. v4 adds trace
+/// propagation (an optional trace-context tail on Solve, an optional
+/// span-block tail on Result) and the Metrics/MetricsReply scrape pair.
+/// Both v4 tails are optional *suffixes*: a server negotiates down to
+/// v3 per connection and then neither sends nor expects them, so old
+/// and new peers interoperate (locked by the obs wire-compat tests).
+inline constexpr std::uint32_t kProtocolVersion = 4;
+
+/// The oldest protocol version this build still speaks. Client and
+/// router fall back to it (one reconnect) when a v3 peer rejects the
+/// v4 Hello.
+inline constexpr std::uint32_t kMinProtocolVersion = 3;
 
 /// Default cap on one frame's payload. Admission control can lower the
 /// effective graph size well below this; the cap exists so a garbage
@@ -59,6 +70,8 @@ enum class FrameTag : std::uint8_t {
   kBusy = 11,
   kError = 12,
   kSubmitGraphBinary = 13,
+  kMetrics = 14,       // request: empty payload (protocol v4)
+  kMetricsReply = 15,  // reply: one str, Prometheus text exposition
 };
 
 /// Peer spoke the protocol wrongly (truncated frame, unknown tag, length
@@ -153,9 +166,26 @@ struct SolveKnobs {
 /// single mapping — a SolveRequest holds live-only state too).
 [[nodiscard]] api::SolveRequest to_request(const SolveKnobs& knobs);
 
+/// Trace context riding a Solve frame (protocol v4): the request's
+/// trace id and the sender's enclosing span, so the receiving layer
+/// parents its spans into one stitched per-request trace. trace_id == 0
+/// means "not traced" and the tail is omitted entirely (the canonical
+/// v3-compatible encoding).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+/// Byte offset of TraceContext::parent_span_id from the *end* of a
+/// Solve payload that carries a trace tail — the router patches those 8
+/// bytes in place to re-parent the forwarded request under its attempt
+/// span without re-encoding the knobs.
+inline constexpr std::size_t kTraceParentTailOffset = 8;
+
 void encode_solve(PayloadWriter& w, std::string_view algorithm,
-                  const SolveKnobs& knobs);
-void decode_solve(PayloadReader& r, std::string& algorithm, SolveKnobs& knobs);
+                  const SolveKnobs& knobs, const TraceContext& trace = {});
+void decode_solve(PayloadReader& r, std::string& algorithm, SolveKnobs& knobs,
+                  TraceContext* trace = nullptr);
 
 /// A Result frame, decoded. Mirrors the api::Solution fields the
 /// acceptance contract names (cover, duals, transcript digest,
@@ -181,14 +211,23 @@ struct WireResult {
   double wall_ms = 0;
   std::vector<bool> in_cover;   // full instance size
   std::vector<double> duals;    // full instance size
+  /// Spans recorded downstream of this hop for the request's trace
+  /// (protocol v4). Encoded as an optional tail, omitted when empty —
+  /// so the untraced encoding is byte-identical to v3.
+  std::vector<obs::SpanRecord> spans;
+  /// Client-local serving stats, filled by Client::solve and NEVER
+  /// encoded: Busy retries performed and backoff actually slept.
+  std::uint32_t busy_retries = 0;
+  std::uint64_t busy_backoff_ms = 0;
 };
 
 void encode_result(PayloadWriter& w, const api::Solution& sol, bool cache_hit,
-                   std::uint64_t solve_digest);
+                   std::uint64_t solve_digest,
+                   std::span<const obs::SpanRecord> spans = {});
 /// Re-encodes a decoded Result. decode/encode are canonical inverses:
 /// encode(decode(p)) is the canonical form of p, and re-encoding is
-/// idempotent — the property the wire fuzz harness enforces, and what a
-/// future router needs to forward Results without holding a Solution.
+/// idempotent — the property the wire fuzz harness enforces, and what
+/// the router needs to forward Results without holding a Solution.
 void encode_result(PayloadWriter& w, const WireResult& res);
 [[nodiscard]] WireResult decode_result(PayloadReader& r);
 
